@@ -1,0 +1,51 @@
+"""Figure 11: PMEM-Spec throughput vs speculation-buffer size (8 cores).
+
+Paper shape: a 1-entry buffer costs throughput through all-core pauses
+(paper: 12.8% vs the overflow-free 16-entry buffer); throughput is
+monotonically non-decreasing with size and saturates by 16 entries,
+which never overflows (§8.3.2).
+"""
+
+from repro.config import table3_config
+from repro.harness import figure11, format_series
+from repro.persistency import design_by_name
+from repro.system import build_system
+from repro.workloads import workload_by_name
+
+SIZES = (1, 2, 4, 8, 16)
+SCALE = 0.6
+SEED = 42
+
+
+def test_figure11(benchmark, run_once):
+    series = run_once(benchmark,
+                      lambda: figure11(buffer_sizes=SIZES, scale=SCALE,
+                                       seed=SEED))
+    print("\n" + format_series(
+        series, "entries", "throughput vs 16-entry",
+        "Figure 11: speculation-buffer size sensitivity"))
+    assert series[16] == 1.0
+    assert series[1] <= series[16]
+    assert series[2] <= series[16] + 1e-9
+    # Near-saturation by 4 entries, as the paper's default suggests.
+    assert series[4] > 0.85
+
+
+def test_sixteen_entries_never_overflow():
+    """§8.3.2: 'When it comes to the speculation buffer with 16-entry,
+    we have not observed overflows.'"""
+    workload = workload_by_name("hashmap", seed=SEED)
+    program = workload.build(8, 40)
+    config = table3_config(n_cores=8, spec_buffer_entries=16)
+    system = build_system(program, design_by_name("PMEM-Spec"), config)
+    result = system.run()
+    assert result.spec_buffer_overflows == 0
+
+
+def test_single_entry_overflows():
+    workload = workload_by_name("hashmap", seed=SEED)
+    program = workload.build(8, 40)
+    config = table3_config(n_cores=8, spec_buffer_entries=1)
+    system = build_system(program, design_by_name("PMEM-Spec"), config)
+    result = system.run()
+    assert result.spec_buffer_overflows > 0

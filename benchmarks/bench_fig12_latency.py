@@ -1,0 +1,39 @@
+"""Figure 12: geomean throughput of HOPS and PMEM-Spec vs persist-path
+latency (20 ns -> 100 ns), normalised to the IntelX86 baseline.
+
+Paper shape: throughput degrades gently with latency and, because
+durability barriers are infrequent, both designs stay above the
+baseline even at 100 ns (§8.3.3).  Our FASE mix is shorter than the
+paper's 100K-FASE kernels, so the curves dip a little below 1.0 at the
+far end; the robust shape this bench asserts is: both clearly above the
+baseline at the 20 ns design point, graceful monotone decline, and
+PMEM-Spec above HOPS at every latency (one barrier per FASE hides the
+path latency better than draining a FIFO buffer does).
+"""
+
+from repro.harness import figure12, format_series
+
+LATENCIES = (20, 60, 100)
+SCALE = 0.3
+SEED = 42
+
+
+def test_figure12(benchmark, run_once):
+    series = run_once(benchmark,
+                      lambda: figure12(latencies_ns=LATENCIES,
+                                       scale=SCALE, seed=SEED))
+    print("\n" + format_series(
+        series, "persist-path ns", "geomean vs IntelX86",
+        "Figure 12: persist-path latency sensitivity"))
+    # At the paper's 20 ns both designs beat the baseline.
+    assert series[20]["PMEM-Spec"] > 1.0
+    assert series[20]["HOPS"] > 1.0
+    # Graceful degradation, never a collapse.
+    for latency in LATENCIES:
+        assert series[latency]["PMEM-Spec"] > 0.9, latency
+        assert series[latency]["HOPS"] > 0.7, latency
+        # Speculation hides path latency better than buffer draining.
+        assert series[latency]["PMEM-Spec"] >= series[latency]["HOPS"]
+    # More latency never helps either design.
+    assert series[100]["PMEM-Spec"] <= series[20]["PMEM-Spec"] + 0.02
+    assert series[100]["HOPS"] <= series[20]["HOPS"] + 0.02

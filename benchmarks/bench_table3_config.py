@@ -1,0 +1,27 @@
+"""Table 3: simulator configuration (construction + consistency)."""
+
+from repro.config import table3_config
+from repro.harness import format_table3, table3_rows
+
+
+def test_table3_report(benchmark, run_once):
+    text = run_once(benchmark, format_table3)
+    print("\n" + text)
+    # The values the paper's Table 3 lists.
+    assert "2GHz, 8way-OoO" in text
+    assert "192-entry ROB" in text
+    assert "32-entry Ld/St Queue" in text
+    assert "32/64KB, 4-way, private" in text
+    assert "16MB, 16-way, shared" in text
+    assert "32/64-entry read/write queue" in text
+    assert "4-entry speculation buffer" in text
+    assert "Read = 175ns/Write = 94ns" in text
+    assert "20ns" in text  # persist path
+
+
+def test_table3_derived_quantities(benchmark, run_once):
+    config = run_once(benchmark, table3_config)
+    # §8.1: the speculative period is cores x idle path latency = 160 ns.
+    assert config.speculation_window_cycles == config.ns(8 * 20.0)
+    assert config.ns(1.0) == 2  # 2 GHz: 1 ns = 2 cycles
+    assert len(table3_rows(config)) == 11

@@ -1,0 +1,21 @@
+"""Shared benchmark settings.
+
+Each benchmark regenerates one of the paper's tables/figures at a
+reduced scale (the full-scale versions run via ``python -m
+repro.harness``).  Simulation runs are seconds long, so every bench
+uses ``benchmark.pedantic`` with one round -- the timing shown is the
+cost of regenerating the figure, and the assertions in each bench check
+the figure's qualitative *shape* against the paper.
+"""
+
+import pytest
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def run_once():
+    return once

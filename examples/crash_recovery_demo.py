@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Crash recovery on a persistent red-black tree.
+
+Failure atomicity is what PMEM-Spec's whole recovery story rests on
+(§4.4 treats misspeculation as a *virtual* power failure).  This demo
+shows the real thing:
+
+1. two threads insert/delete into persistent red-black trees through
+   undo-logged FASEs under the PMEM-Spec design;
+2. we cut power at a series of arbitrary cycles;
+3. ADR preserves exactly the PM controller's accepted writes -- the
+   snapshot may contain *torn* FASEs (some node pointers updated, some
+   not; rotations half-applied);
+4. the recovery protocol scans each thread's epoch-stamped undo log and
+   rolls uncommitted FASEs back;
+5. a full structural validator walks the recovered trees: BST order,
+   red-red violations, black-height balance, parent pointers, cycles.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+from repro.runtime import measure_run_cycles, run_with_crash
+from repro.workloads import RBTree
+
+DESIGN = "PMEM-Spec"
+THREADS = 2
+FASES = 15
+SEED = 2026
+
+
+def main() -> None:
+    total = measure_run_cycles(RBTree, DESIGN, THREADS, FASES, SEED)
+    print(f"Uninterrupted run: {total:,} cycles for "
+          f"{THREADS * FASES} tree operations under {DESIGN}.\n")
+
+    print(f"{'crash cycle':>12} {'committed':>10} {'rolled-back':>12} "
+          f"{'undo writes':>12} {'tree valid':>11}")
+    print("-" * 62)
+    consistent = 0
+    crashes = [round(total * fraction) for fraction in
+               (0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95)]
+    for crash_cycle in crashes:
+        outcome = run_with_crash(RBTree, DESIGN, crash_cycle,
+                                 n_threads=THREADS,
+                                 fases_per_thread=FASES, seed=SEED)
+        status = "yes" if outcome.consistent else "NO!"
+        consistent += outcome.consistent
+        print(f"{crash_cycle:>12,} {outcome.commits_before_crash:>10} "
+              f"{len(outcome.report.rolled_back_threads):>12} "
+              f"{outcome.report.total_undo_writes:>12} {status:>11}")
+        if not outcome.consistent:
+            for violation in outcome.violations[:3]:
+                print(f"    !! {violation}")
+
+    print("-" * 62)
+    print(f"{consistent}/{len(crashes)} crash points recovered to a "
+          f"structurally valid red-black tree.")
+    assert consistent == len(crashes)
+
+
+if __name__ == "__main__":
+    main()

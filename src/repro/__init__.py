@@ -1,0 +1,35 @@
+"""PMEM-Spec reproduction: persistent memory speculation (ASPLOS 2021).
+
+Public API tour
+---------------
+>>> from repro import build_system, design_by_name, table3_config
+>>> from repro.workloads import workload_by_name
+>>> program = workload_by_name("tpcc", seed=42).build(8, 50)
+>>> system = build_system(program, design_by_name("PMEM-Spec"),
+...                       table3_config(n_cores=8))
+>>> result = system.run()
+
+Subpackages: :mod:`repro.sim` (DES kernel), :mod:`repro.isa`
+(instructions/programs), :mod:`repro.mem` (caches/PMC/paths),
+:mod:`repro.cpu` (cores), :mod:`repro.persistency` (baseline designs),
+:mod:`repro.core` (the PMEM-Spec contribution), :mod:`repro.runtime`
+(failure atomicity + crash injection), :mod:`repro.oslayer`,
+:mod:`repro.compiler`, :mod:`repro.workloads` (Table 4 benchmarks),
+:mod:`repro.harness` (per-figure experiments).
+"""
+
+from .config import SystemConfig, table3_config
+from .persistency import design_by_name
+from .system import SimResult, System, build_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimResult",
+    "System",
+    "SystemConfig",
+    "build_system",
+    "design_by_name",
+    "table3_config",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Compiler: critical-section analysis and per-design lowering."""
+
+from .instrument import (
+    CriticalSectionInfo,
+    analyse_fase,
+    annotation_burden,
+    fase_profile,
+)
+from .lowering import (
+    FLAVORS,
+    LoweredFase,
+    LoweredProgram,
+    LoweredThread,
+    LoweringError,
+    lower_fase,
+    lower_program,
+    lower_rollback,
+)
+
+__all__ = [
+    "CriticalSectionInfo", "FLAVORS", "LoweredFase", "LoweredProgram",
+    "LoweredThread", "LoweringError", "analyse_fase", "annotation_burden",
+    "fase_profile", "lower_fase", "lower_program", "lower_rollback",
+]

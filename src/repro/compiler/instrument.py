@@ -1,0 +1,104 @@
+"""Critical-section analysis (§5.2.2's compiler support).
+
+The PMEM-Spec compiler identifies critical sections in the program IR so
+the lowering can insert ``spec-assign`` right after each lock acquire
+and ``spec-revoke`` right before the matching release.  The analysis is
+purely structural: a critical section is the span protected by the
+*outermost* lock (nested locks extend the same tagged span -- the thread
+already holds an ID).
+
+The same analysis reports which PWrite ops are lock-protected (the
+stores the lowering will tag) and, for Figure 2-style comparisons,
+counts the annotation burden each flavor imposes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..isa import Compute, Fase, LockAcquire, LockRelease, PRead, PWrite
+
+
+class CriticalSectionInfo:
+    """Analysis result for one FASE."""
+
+    def __init__(self, fase: Fase):
+        self.fase = fase
+        # Index spans [acquire_index, release_index] of outermost sections.
+        self.sections: List[tuple] = []
+        # Indices of PWrite ops inside some critical section.
+        self.protected_writes: Set[int] = set()
+        self._analyse()
+
+    def _analyse(self) -> None:
+        depth = 0
+        section_start = None
+        for index, op in enumerate(self.fase.ops):
+            if isinstance(op, LockAcquire):
+                if depth == 0:
+                    section_start = index
+                depth += 1
+            elif isinstance(op, LockRelease):
+                depth -= 1
+                if depth == 0:
+                    self.sections.append((section_start, index))
+                    section_start = None
+            elif isinstance(op, PWrite) and depth > 0:
+                self.protected_writes.add(index)
+
+    @property
+    def has_critical_section(self) -> bool:
+        return bool(self.sections)
+
+    def in_section(self, index: int) -> bool:
+        return any(start <= index <= end for start, end in self.sections)
+
+
+def analyse_fase(fase: Fase) -> CriticalSectionInfo:
+    return CriticalSectionInfo(fase)
+
+
+def annotation_burden(fase: Fase, flavor: str) -> Dict[str, int]:
+    """How many ordering annotations a programmer (or compiler) must place
+    in this FASE under each model -- the Figure 2 comparison.
+
+    * ``x86``: one SFENCE per log group plus the data-durability and
+      epoch-bump fences, and one CLWB per dirty line flushed;
+    * ``hops``: one ofence per log group plus the final ofence/dfence
+      pair -- custom instructions, but no flushes;
+    * ``pmemspec``: exactly one spec-barrier (the point of the paper) --
+      spec-assign/revoke are compiler-inserted, not programmer burden.
+    """
+    n_writes = len(fase.writes)
+    distinct_data_blocks = len({addr >> 6 for addr in fase.writes})
+    log_blocks = max(1, (n_writes * 16 + 63) // 64)
+    # One fence per log group (>= one per dirtied block run) + the
+    # data-durability fence + the epoch-bump fence.
+    groups = max(1, distinct_data_blocks)
+    if flavor == "x86":
+        flushes = distinct_data_blocks + log_blocks + 1  # +1: epoch word
+        return {"fences": groups + 2, "flushes": flushes,
+                "programmer_visible": groups + 2 + flushes}
+    if flavor == "hops":
+        return {"fences": groups + 2, "flushes": 0,
+                "programmer_visible": groups + 2}
+    if flavor == "pmemspec":
+        return {"fences": 1, "flushes": 0, "programmer_visible": 1}
+    if flavor == "strand":
+        # NewStrand + persist_barrier per group, plus join + dfence --
+        # the heaviest annotation burden (§9: StrandWeaver "requir[es]
+        # programmers to denote creating and joining strands").
+        return {"fences": 2 * groups + 2, "flushes": 0,
+                "programmer_visible": 2 * groups + 2}
+    raise ValueError(f"unknown flavor {flavor!r}")
+
+
+def fase_profile(fase: Fase) -> Dict[str, int]:
+    """Static op profile used by reports and workload sanity tests."""
+    return {
+        "preads": fase.count(PRead),
+        "pwrites": fase.count(PWrite),
+        "computes": fase.count(Compute),
+        "locks": fase.count(LockAcquire),
+        "distinct_write_blocks": len({a >> 6 for a in fase.writes}),
+    }

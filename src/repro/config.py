@@ -1,0 +1,122 @@
+"""System configuration (the paper's Table 3).
+
+All latencies are stored in nanoseconds exactly as the paper gives them
+and converted to integer core cycles (2 GHz => 2 cycles per ns) via
+:meth:`SystemConfig.ns`.  One simulated time unit everywhere in this
+repository is one core cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+@dataclass
+class SystemConfig:
+    """Table 3 of the paper, plus reproduction-specific knobs."""
+
+    # Core
+    n_cores: int = 8
+    freq_ghz: float = 2.0
+    rob_entries: int = 192          # informational; cores batch compute
+    store_queue_entries: int = 32
+    issue_width: int = 8
+    mlp_misses: int = 8             # outstanding PM-miss loads per core
+
+    # L1 data cache (per core)
+    l1_size_bytes: int = 64 * 1024
+    l1_ways: int = 4
+    l1_hit_ns: float = 2.0
+
+    # L2 / LLC (shared)
+    l2_size_bytes: int = 16 * 1024 * 1024
+    l2_ways: int = 16
+    l2_hit_ns: float = 20.0
+
+    # PM controller
+    pmc_read_queue: int = 32
+    pmc_write_queue: int = 64
+    pmc_banks: int = 16             # device read lanes (~23 GB/s)
+    pmc_write_banks: int = 8        # device write lanes (~10 GB/s)
+    spec_buffer_entries: int = 4
+    n_pm_controllers: int = 1       # §7: >1 exposes the ordering hazard
+    ordered_noc: bool = False       # §7 future-work fix: order-preserving NoC
+
+    # PM device (measured Optane latencies)
+    pm_read_ns: float = 175.0
+    pm_write_ns: float = 94.0
+
+    # Paths
+    persist_path_ns: float = 20.0   # idle store-queue -> PMC latency
+    persist_path_lanes: int = 4     # concurrent ring-bus message slots
+    l1_to_pmc_ns: float = 11.0      # regular-path flush traversal
+    ring_slot_ns: float = 0.5       # per-message ring-bus occupancy
+
+    # Speculation window override (None = the §8.1 rule:
+    # n_cores x idle persist-path latency).  §5.1.2 requires the window
+    # to cover the worst-case persist-path latency; setting it shorter
+    # makes detection unsound -- an ablation the tests demonstrate.
+    spec_window_ns: Optional[float] = None
+
+    # Locks (futex round trip between threads)
+    lock_handoff_ns: float = 10.0
+
+    # Reproduction-specific extras
+    hops_bloom_lookup_ns: float = 2.0     # §8.2.2: PMC bloom check per load
+    hops_bloom_bits: int = 2048
+    hops_bloom_hashes: int = 2
+    hops_persist_buffer_entries: int = 32
+    hops_sticky_bus_extra_ns: float = 0.5  # extra L1<->L2 bit (§8.2.2)
+    dpo_persist_buffer_entries: int = 32
+
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def ns(self, nanoseconds: float) -> int:
+        """Convert nanoseconds to (integer, >=0) core cycles."""
+        cycles = round(nanoseconds * self.freq_ghz)
+        return max(0, int(cycles))
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.freq_ghz
+
+    @property
+    def speculation_window_cycles(self) -> int:
+        """§8.1: ring-connected persist paths give a speculative period of
+        ``n_cores x idle persist-path latency`` (160 ns for 8 cores),
+        unless explicitly overridden via ``spec_window_ns``."""
+        if self.spec_window_ns is not None:
+            return max(1, self.ns(self.spec_window_ns))
+        return self.ns(self.n_cores * self.persist_path_ns)
+
+    @property
+    def l1_sets(self) -> int:
+        return self.l1_size_bytes // (64 * self.l1_ways)
+
+    @property
+    def l2_sets(self) -> int:
+        return self.l2_size_bytes // (64 * self.l2_ways)
+
+    def with_overrides(self, **kwargs) -> "SystemConfig":
+        """A copy with the given fields replaced (sweeps use this)."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        if self.l1_sets < 1 or self.l2_sets < 1:
+            raise ValueError("cache too small for its associativity")
+        if self.spec_buffer_entries < 1:
+            raise ValueError("spec_buffer_entries must be >= 1")
+        if self.pm_read_ns <= 0 or self.pm_write_ns <= 0:
+            raise ValueError("PM latencies must be positive")
+        if self.n_pm_controllers < 1:
+            raise ValueError("n_pm_controllers must be >= 1")
+
+
+def table3_config(**overrides) -> SystemConfig:
+    """The exact configuration of the paper's Table 3."""
+    config = SystemConfig().with_overrides(**overrides)
+    config.validate()
+    return config

@@ -1,0 +1,13 @@
+"""PMEM-Spec core contribution: speculation machinery and the design."""
+
+from . import automata
+from .events import MisspeculationEvent
+from .pmem_spec import PMEMSpec, PMEMSpecPMCPolicy
+from .spec_buffer import SpecBufferEntry, SpeculationBuffer, StallController
+from .spec_id import SpecIdFile, SpecIdRegister
+
+__all__ = [
+    "MisspeculationEvent", "PMEMSpec", "PMEMSpecPMCPolicy",
+    "SpecBufferEntry", "SpecIdFile", "SpecIdRegister", "SpeculationBuffer",
+    "StallController", "automata",
+]

@@ -1,0 +1,108 @@
+"""The PM load-misspeculation detection automaton (Figure 5, Tables 1-2).
+
+PMEM-Spec tracks monitored blocks through four states:
+
+======================  ====================================================
+State                   Meaning (Table 1)
+======================  ====================================================
+``INITIAL``             Not monitored (all blocks start here).
+``EVICT``               The PMC received an LLC writeback for the block;
+                        monitoring (the speculation window) has started.
+``SPECULATED``          A regular-path read fetched the monitored block
+                        from PM -- this read is the speculation.
+``MISSPECULATION``      A persist-path store arrived after the read: the
+                        ``WriteBack - Read - Persist`` pattern, i.e. the
+                        read returned stale data.
+======================  ====================================================
+
+Inputs (Table 2) are ``WRITEBACK``, ``READ``, ``PERSIST`` (messages at the
+PMC) and ``EXPIRE`` (the speculation-window timer).
+
+The eviction-based scheme (§5.1.4) only starts monitoring on a writeback,
+which is what kills the write-on-allocation false positives of the naive
+fetch-based scheme (§5.1.3, Figure 4): a store-miss fetch arrives as a
+``READ`` while the block is still ``INITIAL`` and is ignored.
+
+A ``PERSIST`` in ``EVICT`` ends monitoring: the in-flight store has
+landed, so PM is fresh again and a later read of the block is safe.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+# States
+INITIAL = "Initial"
+EVICT = "Evict"
+SPECULATED = "Speculated"
+MISSPECULATION = "Misspeculation"
+
+STATES = (INITIAL, EVICT, SPECULATED, MISSPECULATION)
+
+# Inputs
+WRITEBACK = "WriteBack"
+READ = "Read"
+PERSIST = "Persist"
+EXPIRE = "Evict(timer)"
+
+INPUTS = (WRITEBACK, READ, PERSIST, EXPIRE)
+
+# Window handling side-effects the buffer applies alongside a transition.
+KEEP_WINDOW = "keep"
+RESTART_WINDOW = "restart"
+DEALLOCATE = "deallocate"
+
+# (state, input) -> (next_state, window_action)
+_TRANSITIONS = {
+    (INITIAL, WRITEBACK): (EVICT, RESTART_WINDOW),
+    (INITIAL, READ): (INITIAL, KEEP_WINDOW),
+    (INITIAL, PERSIST): (INITIAL, KEEP_WINDOW),
+    (INITIAL, EXPIRE): (INITIAL, KEEP_WINDOW),
+
+    (EVICT, WRITEBACK): (EVICT, RESTART_WINDOW),
+    (EVICT, READ): (SPECULATED, KEEP_WINDOW),
+    (EVICT, PERSIST): (INITIAL, DEALLOCATE),
+    (EVICT, EXPIRE): (INITIAL, DEALLOCATE),
+
+    (SPECULATED, WRITEBACK): (SPECULATED, RESTART_WINDOW),
+    (SPECULATED, READ): (SPECULATED, KEEP_WINDOW),
+    (SPECULATED, PERSIST): (MISSPECULATION, KEEP_WINDOW),
+    (SPECULATED, EXPIRE): (INITIAL, DEALLOCATE),
+
+    # Misspeculation is reported and the entry recycled immediately; these
+    # transitions exist only for completeness.
+    (MISSPECULATION, WRITEBACK): (EVICT, RESTART_WINDOW),
+    (MISSPECULATION, READ): (MISSPECULATION, KEEP_WINDOW),
+    (MISSPECULATION, PERSIST): (MISSPECULATION, KEEP_WINDOW),
+    (MISSPECULATION, EXPIRE): (INITIAL, DEALLOCATE),
+}
+
+
+def step(state: str, symbol: str) -> Tuple[str, str]:
+    """One automaton transition; returns ``(next_state, window_action)``."""
+    if state not in STATES:
+        raise ValueError(f"unknown state {state!r}")
+    if symbol not in INPUTS:
+        raise ValueError(f"unknown input {symbol!r}")
+    return _TRANSITIONS[(state, symbol)]
+
+
+def run(symbols) -> str:
+    """Fold a whole input sequence from ``INITIAL``; returns final state.
+
+    Convenience for tests and the documentation examples (Figure 6).
+    """
+    state = INITIAL
+    for symbol in symbols:
+        state, _action = step(state, symbol)
+    return state
+
+
+def detects(symbols) -> bool:
+    """True if the sequence ever reaches ``MISSPECULATION``."""
+    state = INITIAL
+    for symbol in symbols:
+        state, _action = step(state, symbol)
+        if state == MISSPECULATION:
+            return True
+    return False

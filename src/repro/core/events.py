@@ -1,0 +1,32 @@
+"""Misspeculation event records flowing from hardware to OS to runtime."""
+
+from __future__ import annotations
+
+
+class MisspeculationEvent:
+    """Raised (as data, not an exception) by the speculation buffer when
+    an ordering violation is detected (§5).  ``kind`` is ``"load"`` (stale
+    read) or ``"store"`` (inter-thread persist-order violation);
+    ``block`` is the cache-block number; ``core_id`` is the core whose
+    message exposed the violation (the hardware cannot attribute blame,
+    which is why recovery rolls back *all* in-FASE threads, §6.2)."""
+
+    __slots__ = ("kind", "block", "core_id", "time")
+
+    def __init__(self, kind: str, block: int, core_id: int, time: int):
+        if kind not in ("load", "store"):
+            raise ValueError(f"unknown misspeculation kind {kind!r}")
+        self.kind = kind
+        self.block = block
+        self.core_id = core_id
+        self.time = time
+
+    @property
+    def physical_address(self) -> int:
+        """Block-aligned physical address stored into the OS-designated
+        space by the hardware (§6.1.1)."""
+        return self.block * 64
+
+    def __repr__(self) -> str:
+        return (f"MisspeculationEvent({self.kind}, block={self.block}, "
+                f"core={self.core_id}, t={self.time})")

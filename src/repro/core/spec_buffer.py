@@ -1,0 +1,201 @@
+"""The speculation buffer in the PM controller (§5.3, Figure 8).
+
+Each entry holds ``Address`` (cache-block aligned), the automaton
+``State``, the last ``Spec-ID`` observed for the block, and ``Inserted``
+(the cycle its speculation window started).  Entries are allocated when
+the PMC receives
+
+* an **LLC writeback** from the regular path (load-misspeculation
+  monitoring), or
+* a **tagged persist** from the persist path (store-misspeculation
+  tracking -- only stores inside critical sections carry spec-IDs).
+
+Entries live for one speculation window and are lazily expired.  When
+allocation finds no free entry, *all cores pause* until the oldest entry
+expires (§5.3); :class:`StallController` broadcasts that pause to the
+cores, and Figure 11's buffer-size sensitivity comes from exactly these
+pauses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..sim import Counter
+from . import automata
+from .events import MisspeculationEvent
+
+
+class StallController:
+    """Global all-core pause used on speculation-buffer overflow."""
+
+    def __init__(self) -> None:
+        self._resume_at = 0
+        self.stalls = 0
+        self.total_stall_cycles = 0
+
+    def stall_all_until(self, now: int, resume_at: int) -> None:
+        if resume_at > self._resume_at:
+            self.stalls += 1
+            self.total_stall_cycles += resume_at - max(now, self._resume_at)
+            self._resume_at = resume_at
+
+    def release_time(self, now: int) -> int:
+        """Earliest time a core may proceed (== now when not stalled)."""
+        return max(now, self._resume_at)
+
+    @property
+    def stalled(self) -> bool:
+        return self._resume_at > 0
+
+
+class SpecBufferEntry:
+    """One speculation-buffer row (Figure 8)."""
+
+    __slots__ = ("block", "state", "spec_id", "inserted")
+
+    def __init__(self, block: int, state: str, inserted: int,
+                 spec_id: int = 0):
+        self.block = block
+        self.state = state
+        self.spec_id = spec_id
+        self.inserted = inserted
+
+    def expired(self, now: int, window: int) -> bool:
+        return now - self.inserted >= window
+
+    def __repr__(self) -> str:
+        return (f"SpecBufferEntry(block={self.block}, state={self.state}, "
+                f"spec_id={self.spec_id}, inserted={self.inserted})")
+
+
+class SpeculationBuffer:
+    """The PMC-side buffer driving both misspeculation detectors."""
+
+    def __init__(self, entries: int, window: int,
+                 stall: Optional[StallController] = None,
+                 report: Optional[Callable[[MisspeculationEvent], None]] = None):
+        if entries < 1:
+            raise ValueError("speculation buffer needs >= 1 entry")
+        if window < 1:
+            raise ValueError("speculation window must be >= 1 cycle")
+        self.capacity = entries
+        self.window = window
+        self.stall = stall or StallController()
+        self.report = report or (lambda event: None)
+        self._entries: List[SpecBufferEntry] = []
+        self.stats = Counter()
+
+    # ------------------------------------------------------------ plumbing
+
+    def _expire(self, now: int) -> None:
+        survivors = []
+        for entry in self._entries:
+            if entry.expired(now, self.window):
+                self.stats.add("expirations")
+            else:
+                survivors.append(entry)
+        self._entries = survivors
+
+    def _find(self, block: int) -> Optional[SpecBufferEntry]:
+        for entry in self._entries:
+            if entry.block == block:
+                return entry
+        return None
+
+    def _allocate(self, block: int, state: str, now: int,
+                  spec_id: int = 0) -> SpecBufferEntry:
+        """Allocate an entry, pausing all cores on overflow (§5.3)."""
+        self._expire(now)
+        if len(self._entries) >= self.capacity:
+            oldest = min(self._entries, key=lambda e: e.inserted)
+            resume = oldest.inserted + self.window
+            self.stats.add("overflows")
+            self.stall.stall_all_until(now, resume)
+            self._entries.remove(oldest)
+            self.stats.add("expirations")
+            now = resume
+        entry = SpecBufferEntry(block, state, now, spec_id)
+        self._entries.append(entry)
+        self.stats.add("allocations")
+        return entry
+
+    def _deallocate(self, entry: SpecBufferEntry) -> None:
+        self._entries.remove(entry)
+
+    def _apply(self, entry: SpecBufferEntry, symbol: str, now: int) -> str:
+        next_state, action = automata.step(entry.state, symbol)
+        entry.state = next_state
+        if action == automata.RESTART_WINDOW:
+            entry.inserted = now
+        elif action == automata.DEALLOCATE:
+            self._deallocate(entry)
+        return next_state
+
+    # -------------------------------------------------------------- inputs
+
+    def on_writeback(self, block: int, now: int) -> None:
+        """LLC writeback arrived (regular path).  Starts/refreshes
+        load-misspeculation monitoring for the block."""
+        self._expire(now)
+        self.stats.add("in_writeback")
+        entry = self._find(block)
+        if entry is None:
+            self._allocate(block, automata.EVICT, now)
+        else:
+            self._apply(entry, automata.WRITEBACK, now)
+
+    def on_read(self, block: int, now: int) -> None:
+        """PM read arrived (regular path).  Only monitored blocks react --
+        this is the eviction-based scheme's false-positive immunity."""
+        self._expire(now)
+        self.stats.add("in_read")
+        entry = self._find(block)
+        if entry is not None:
+            self._apply(entry, automata.READ, now)
+
+    def on_persist(self, block: int, spec_id: int, core_id: int,
+                   now: int) -> None:
+        """Persist-path store arrived.  Checks both misspeculation kinds."""
+        self._expire(now)
+        self.stats.add("in_persist")
+        entry = self._find(block)
+        if entry is not None:
+            if entry.state == automata.SPECULATED:
+                # WriteBack - Read - Persist: the read was stale (§5.1.4).
+                self.stats.add("load_misspeculations")
+                self.report(MisspeculationEvent(
+                    kind="load", block=block, core_id=core_id, time=now))
+                self._deallocate(entry)
+                return
+            if (spec_id and entry.spec_id
+                    and spec_id < entry.spec_id):
+                # A lower spec-ID after a higher one: the happens-before
+                # (lock) order was violated in PM (§5.2.2).
+                self.stats.add("store_misspeculations")
+                self.report(MisspeculationEvent(
+                    kind="store", block=block, core_id=core_id, time=now))
+                self._deallocate(entry)
+                return
+            if spec_id:
+                entry.spec_id = max(entry.spec_id, spec_id)
+                entry.inserted = now
+            else:
+                self._apply(entry, automata.PERSIST, now)
+            return
+        if spec_id:
+            self._allocate(block, automata.INITIAL, now, spec_id=spec_id)
+
+    # ------------------------------------------------------------- queries
+
+    def occupancy(self, now: int) -> int:
+        self._expire(now)
+        return len(self._entries)
+
+    def entries(self) -> List[SpecBufferEntry]:
+        return list(self._entries)
+
+    def state_of(self, block: int, now: int) -> str:
+        self._expire(now)
+        entry = self._find(block)
+        return entry.state if entry is not None else automata.INITIAL

@@ -1,0 +1,70 @@
+"""Per-core speculation-ID registers (§5.2.2).
+
+``spec-assign`` reads the global monotonically increasing counter into
+the core's dedicated register and increments the counter; every PM store
+that leaves the store queue while the register is non-zero is tagged
+with its value.  ``spec-revoke`` clears the register at critical-section
+exit.  The register is saved/restored across context switches so a
+thread scheduled out inside a critical section keeps tagging correctly
+after it is scheduled back in (§5.2.2's virtualisation requirement);
+:class:`repro.oslayer.process.ContextSwitcher` exercises that path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..mem import SpecIdCounter
+
+
+class SpecIdRegister:
+    """The dedicated per-core register holding the active speculation ID."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = SpecIdCounter.UNTAGGED
+
+    @property
+    def active(self) -> bool:
+        return self.value != SpecIdCounter.UNTAGGED
+
+    def clear(self) -> None:
+        self.value = SpecIdCounter.UNTAGGED
+
+
+class SpecIdFile:
+    """All cores' spec-ID registers plus the shared counter."""
+
+    def __init__(self, n_cores: int):
+        self.counter = SpecIdCounter()
+        self.registers: List[SpecIdRegister] = [
+            SpecIdRegister() for _ in range(n_cores)]
+        # Saved register values per software thread, keyed by thread id;
+        # populated on context-switch-out (virtualisation).
+        self._saved: Dict[int, int] = {}
+
+    def assign(self, core_id: int) -> int:
+        """Execute ``spec-assign`` on ``core_id``; returns the new ID."""
+        spec_id = self.counter.assign()
+        self.registers[core_id].value = spec_id
+        return spec_id
+
+    def revoke(self, core_id: int) -> None:
+        """Execute ``spec-revoke`` on ``core_id``."""
+        self.registers[core_id].clear()
+
+    def current(self, core_id: int) -> int:
+        return self.registers[core_id].value
+
+    # -------------------------------------------------- context switching
+
+    def save(self, core_id: int, thread_id: int) -> None:
+        """Thread scheduled out: bank its spec-ID, clear the register."""
+        self._saved[thread_id] = self.registers[core_id].value
+        self.registers[core_id].clear()
+
+    def restore(self, core_id: int, thread_id: int) -> None:
+        """Thread scheduled in: reload its banked spec-ID (0 if none)."""
+        self.registers[core_id].value = self._saved.pop(
+            thread_id, SpecIdCounter.UNTAGGED)

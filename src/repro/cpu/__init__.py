@@ -1,0 +1,6 @@
+"""CPU timing model: cores and store queues."""
+
+from .core import ABORT, COMMIT, Core
+from .store_queue import StoreQueue
+
+__all__ = ["ABORT", "COMMIT", "Core", "StoreQueue"]

@@ -1,0 +1,241 @@
+"""The core timing model.
+
+A :class:`Core` executes one software thread's lowered FASE stream as a
+DES process.  The model is deliberately simple but keeps exactly the
+behaviours the paper's comparison is sensitive to:
+
+* compute batches into a single timeout (an 8-wide OoO core is far from
+  memory-bound on ALU work);
+* loads block for their cache/PM latency (hits are synchronous, PM
+  misses yield an event);
+* stores, CLWBs and SFENCEs occupy store-queue entries; a full queue
+  stalls the core (§8.2.1);
+* fences stall for whatever the active design says;
+* the speculation-buffer overflow pause (§5.3) gates every op;
+* lazy recovery checks the misspeculation flag at the FASE commit point
+  (just before the outermost unlock), eager recovery at every op
+  boundary; aborts roll back via the undo log and re-execute the FASE
+  (§6.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..compiler import LoweredFase, LoweredThread, lower_rollback
+from ..isa import (
+    Clwb,
+    Comp,
+    Dfence,
+    FaseBegin,
+    FaseEnd,
+    JoinStrand,
+    Ld,
+    Lock,
+    MirrorOld,
+    NewStrand,
+    Ofence,
+    Sfence,
+    SpecAssign,
+    SpecBarrier,
+    SpecRevoke,
+    St,
+    StrandBarrier,
+    Unlock,
+)
+from ..sim import Counter
+from ..sim.resources import OccupancyQueue
+from .store_queue import StoreQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..system import System
+
+COMMIT = "commit"
+ABORT = "abort"
+
+
+class Core:
+    """One core running one thread's lowered program."""
+
+    def __init__(self, system: "System", core_id: int,
+                 thread: LoweredThread):
+        self.system = system
+        self.env = system.env
+        self.core_id = core_id
+        self.thread = thread
+        self.store_queue = StoreQueue(system.config, core_id)
+        # Outstanding PM-miss loads (memory-level parallelism): an OoO
+        # core overlaps independent misses up to its MSHR budget and only
+        # blocks when the budget is exhausted; dependence is enforced
+        # coarsely at lock boundaries and FASE ends.
+        self._misses = OccupancyQueue(capacity=system.config.mlp_misses,
+                                      name=f"mlp[{core_id}]")
+        self.stats = Counter()
+        self.held_locks: List[int] = []
+        self.finish_time = None
+
+    def _loads_settled(self, now: int) -> int:
+        """Time by which every outstanding PM-miss load has returned."""
+        return self._misses.drain_complete_time(now)
+
+    def _count_stale(self, event) -> None:
+        if event.value.stale:
+            self.stats.add("stale_loads")
+
+    # ------------------------------------------------------------ main loop
+
+    def run(self):
+        """DES process body: execute every FASE (with retries), then stop."""
+        for fase in self.thread.fases:
+            yield from self._run_fase_with_retries(fase)
+            if self.thread.think_cycles:
+                yield self.env.timeout(self.thread.think_cycles)
+        self.finish_time = self.env.now
+        return self.env.now
+
+    def _run_fase_with_retries(self, fase: LoweredFase):
+        while True:
+            outcome = yield from self._execute(fase.ops)
+            if outcome == COMMIT:
+                self.stats.add("fases_committed")
+                return
+            yield from self._abort_and_rollback(fase)
+            self.stats.add("fase_retries")
+
+    def _abort_and_rollback(self, fase: LoweredFase):
+        """The abort handler (§6.2.1): undo writes, truncate, release."""
+        runtime = self.system.runtime
+        writes = runtime.fase_abort(self.core_id, self.env.now)
+        rollback_ops = lower_rollback(writes, self.core_id, fase.flavor,
+                                      log_mode=fase.log_mode)
+        outcome = yield from self._execute(rollback_ops,
+                                           abortable=False)
+        assert outcome == COMMIT
+        # Release any locks the aborted FASE still holds so the retry
+        # (and other threads) can make progress.
+        while self.held_locks:
+            lock_id = self.held_locks.pop()
+            self.system.locks[lock_id].release(self.core_id)
+        self.stats.add("rollback_writes", len(writes))
+
+    # ------------------------------------------------------------- executor
+
+    def _execute(self, ops, abortable: bool = True):
+        """Run a machine-op list; returns COMMIT or ABORT."""
+        env = self.env
+        system = self.system
+        design = system.design
+        runtime = system.runtime
+        eager = runtime.recovery_mode == "eager"
+        delay = 0
+        for op in ops:
+            self.stats.add("instructions")
+            t = env.now + delay
+            # Speculation-buffer overflow pauses every core (§5.3).
+            release = system.stall.release_time(t)
+            if release > t:
+                self.stats.add("spec_stall_cycles", release - t)
+                delay += release - t
+                t = release
+            if abortable and eager and runtime.must_abort(
+                    self.core_id, at_boundary=False):
+                yield env.timeout(delay)
+                self.stats.add("eager_aborts")
+                return ABORT
+
+            if isinstance(op, Comp):
+                delay += op.cycles
+            elif isinstance(op, MirrorOld):
+                runtime.log_write(self.core_id, op.addr,
+                                  system.image.read(op.addr))
+            elif isinstance(op, Ld):
+                result = system.hierarchy.load(self.core_id, op.addr, t)
+                if result.event is None:
+                    delay = result.done - env.now
+                else:
+                    # PM miss: overlap it (MLP) instead of blocking; the
+                    # fill happens via the event's callback at `done`.
+                    self.stats.add("pm_loads")
+                    accept = self._misses.push(t, result.done)
+                    if accept > t:
+                        self.stats.add("mlp_stall_cycles", accept - t)
+                    delay += max(1, accept - t)
+                    result.event.add_callback(self._count_stale)
+            elif isinstance(op, St):
+                value = op.value
+                if op.log_of is not None:
+                    value = system.image.read(op.log_of)
+                    runtime.log_write(self.core_id, op.log_of, value)
+                done = design.store(self.core_id, op.addr, value, t,
+                                    to_pm=op.to_pm, kind=op.kind,
+                                    shared=op.shared)
+                accept = self.store_queue.push(t, done - t)
+                delay += max(1, accept - t)
+            elif isinstance(op, Clwb):
+                done = design.clwb(self.core_id, op.addr, t)
+                accept = self.store_queue.push(t, done - t)
+                delay += max(1, accept - t)
+            elif isinstance(op, Sfence):
+                self.store_queue.push(t, 1)
+                delay += max(1, design.sfence(self.core_id, t) - t)
+            elif isinstance(op, Ofence):
+                delay += max(1, design.ofence(self.core_id, t) - t)
+            elif isinstance(op, Dfence):
+                delay += max(1, design.dfence(self.core_id, t) - t)
+            elif isinstance(op, SpecBarrier):
+                delay += max(1, design.spec_barrier(self.core_id, t) - t)
+            elif isinstance(op, SpecAssign):
+                delay += max(1, design.spec_assign(self.core_id, t) - t)
+            elif isinstance(op, SpecRevoke):
+                delay += max(1, design.spec_revoke(self.core_id, t) - t)
+            elif isinstance(op, NewStrand):
+                delay += max(1, design.new_strand(self.core_id, t) - t)
+            elif isinstance(op, StrandBarrier):
+                delay += max(1, design.strand_barrier(self.core_id, t) - t)
+            elif isinstance(op, JoinStrand):
+                delay += max(1, design.join_strand(self.core_id, t) - t)
+            elif isinstance(op, Lock):
+                # Entering a critical section depends on prior loads.
+                delay = max(delay, self._loads_settled(t) - env.now)
+                yield env.timeout(delay)
+                delay = 0
+                yield system.locks[op.lock_id].acquire(self.core_id)
+                self.held_locks.append(op.lock_id)
+                handoff = system.lock_network.transfer_cost(
+                    op.lock_id, self.core_id)
+                after = design.on_lock_op(self.core_id, env.now + handoff)
+                delay = after - env.now
+                self.stats.add("lock_acquires")
+            elif isinstance(op, Unlock):
+                # Lazy recovery's check site: just before releasing the
+                # outermost lock (§6.2.1).
+                if (abortable and len(self.held_locks) == 1
+                        and runtime.must_abort(self.core_id,
+                                               at_boundary=True)):
+                    yield env.timeout(delay)
+                    self.stats.add("lazy_aborts")
+                    return ABORT
+                release_at = max(design.on_lock_op(self.core_id, t),
+                                 self._loads_settled(t))
+                delay = release_at - env.now
+                yield env.timeout(delay)
+                delay = 0
+                self.held_locks.remove(op.lock_id)
+                system.locks[op.lock_id].release(self.core_id)
+            elif isinstance(op, FaseBegin):
+                runtime.fase_begin(self.core_id, op.fase_id, t)
+            elif isinstance(op, FaseEnd):
+                # The FASE's result depends on every load it issued.
+                delay = max(delay, self._loads_settled(t) - env.now)
+                yield env.timeout(delay)
+                delay = 0
+                if abortable and runtime.must_abort(self.core_id,
+                                                    at_boundary=True):
+                    self.stats.add("lazy_aborts")
+                    return ABORT
+                runtime.fase_commit(self.core_id, env.now)
+            else:  # pragma: no cover - lowering emits nothing else
+                raise TypeError(f"core cannot execute {op!r}")
+        if delay:
+            yield env.timeout(delay)
+        return COMMIT

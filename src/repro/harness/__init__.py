@@ -1,0 +1,47 @@
+"""Experiment harness: per-figure drivers, sweeps, and reporting."""
+
+from .artifacts import diff_artifacts, load_artifact, save_artifact
+from .configs import (
+    BASELINE,
+    BENCHMARK_ORDER,
+    DESIGNS,
+    default_config,
+    format_table3,
+    table3_rows,
+)
+from .experiments import (
+    figure2_annotation_burden,
+    figure9,
+    figure10,
+    figure10_summary,
+    figure11,
+    figure12,
+    lazy_vs_eager_recovery,
+    misspeculation_rates,
+    naive_tagging_ablation,
+    undo_vs_redo_ablation,
+)
+from .report import (
+    format_bar_chart,
+    format_misspec_table,
+    format_normalized_table,
+    format_series,
+)
+from .runner import (
+    compare_designs,
+    full_comparison,
+    normalized_throughput,
+    run_benchmark,
+)
+
+__all__ = [
+    "BASELINE", "diff_artifacts", "load_artifact", "save_artifact", "BENCHMARK_ORDER", "DESIGNS", "compare_designs",
+    "default_config", "figure9", "figure10", "figure10_summary",
+    "figure11", "figure12", "format_bar_chart", "format_misspec_table",
+    "format_normalized_table", "format_series", "format_table3",
+    "figure2_annotation_burden", "full_comparison",
+    "lazy_vs_eager_recovery", "misspeculation_rates",
+    "undo_vs_redo_ablation",
+    "naive_tagging_ablation", "normalized_throughput", "run_benchmark",
+    "table3_rows",
+]

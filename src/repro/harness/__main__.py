@@ -1,0 +1,231 @@
+"""CLI: regenerate any of the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness table3
+    python -m repro.harness fig9  [--scale 1.0] [--threads 8]
+    python -m repro.harness fig10 [--scale 0.5] [--cores 16,32,64]
+    python -m repro.harness fig11 [--scale 1.0]
+    python -m repro.harness fig12 [--scale 1.0]
+    python -m repro.harness misspec
+    python -m repro.harness ablations
+    python -m repro.harness all   [--scale 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .configs import DESIGNS, format_table3
+from .experiments import (
+    figure2_annotation_burden,
+    figure9,
+    figure10,
+    figure10_summary,
+    figure11,
+    figure12,
+    lazy_vs_eager_recovery,
+    misspeculation_rates,
+    naive_tagging_ablation,
+    undo_vs_redo_ablation,
+)
+from .report import (
+    format_bar_chart,
+    format_misspec_table,
+    format_normalized_table,
+    format_series,
+)
+
+
+def _maybe_save(args, name, payload):
+    if getattr(args, "save", None):
+        from .artifacts import save_artifact
+        path = save_artifact(args.save, name, payload,
+                             meta={"scale": args.scale, "seed": args.seed})
+        print(f"[saved {path}]")
+
+
+def _timed(label, fn):
+    start = time.time()
+    result = fn()
+    print(f"[{label} done in {time.time() - start:.1f}s]\n")
+    return result
+
+
+def cmd_table3(args) -> None:
+    print(format_table3())
+
+
+def cmd_fig9(args) -> None:
+    rows = _timed("fig9", lambda: figure9(n_threads=args.threads,
+                                          scale=args.scale, seed=args.seed))
+    _maybe_save(args, "fig9", rows)
+    print(format_normalized_table(
+        rows, DESIGNS,
+        f"Figure 9: throughput normalised to IntelX86 "
+        f"({args.threads}-core system)"))
+    from ..sim import geomean
+    print()
+    print(format_bar_chart(
+        {design: geomean([rows[b][design] for b in rows])
+         for design in DESIGNS},
+        "Figure 9 geomean (|= baseline)", reference=1.0))
+
+
+def cmd_fig10(args) -> None:
+    cores = [int(c) for c in args.cores.split(",")]
+    results = _timed("fig10", lambda: figure10(core_counts=cores,
+                                               scale=args.scale,
+                                               seed=args.seed))
+    _maybe_save(args, "fig10", results)
+    for count, rows in results.items():
+        print(format_normalized_table(
+            rows, DESIGNS,
+            f"Figure 10: normalised throughput ({count}-core system)"))
+        print()
+    summary = figure10_summary(results)
+    print(format_series(summary, "cores", "geomean vs IntelX86",
+                        "Figure 10 summary (geomean per design)"))
+
+
+def cmd_fig11(args) -> None:
+    series = _timed("fig11", lambda: figure11(scale=args.scale,
+                                              seed=args.seed))
+    _maybe_save(args, "fig11", series)
+    print(format_series(
+        series, "buffer entries", "throughput vs 16-entry",
+        "Figure 11: speculation-buffer size sensitivity (8 cores)"))
+
+
+def cmd_fig12(args) -> None:
+    series = _timed("fig12", lambda: figure12(scale=args.scale,
+                                              seed=args.seed))
+    _maybe_save(args, "fig12", series)
+    print(format_series(
+        series, "persist-path ns", "geomean vs IntelX86",
+        "Figure 12: persist-path latency sensitivity"))
+
+
+def cmd_misspec(args) -> None:
+    rows = _timed("misspec", lambda: misspeculation_rates(
+        scale=args.scale, seed=args.seed))
+    _maybe_save(args, "misspec", {"rows": rows})
+    print(format_misspec_table(
+        rows, "Section 8.4: misspeculation rates under PMEM-Spec"))
+
+
+def cmd_fig2(args) -> None:
+    rows = _timed("fig2", figure2_annotation_burden)
+    print(format_series(
+        rows, "benchmark", "annotations/FASE per flavor",
+        "Figure 2 quantified: programmer-visible ordering annotations"))
+
+
+def cmd_ablations(args) -> None:
+    recovery = _timed("lazy-vs-eager",
+                      lambda: lazy_vs_eager_recovery(scale=args.scale,
+                                                     seed=args.seed))
+    print(format_series(recovery, "recovery mode", "outcome",
+                        "Ablation: lazy vs eager recovery (§6.2)"))
+    print()
+    tagging = _timed("tagging", lambda: naive_tagging_ablation(
+        scale=args.scale, seed=args.seed))
+    print(format_series(
+        {name: {"slowdown_naive": row["slowdown"],
+                "naive_overflows": row["naive_overflows"]}
+         for name, row in tagging.items()},
+        "benchmark", "naive tagging cost",
+        "Ablation: spec-tagging without escape analysis (§5.2.2)"))
+    print()
+    redo = _timed("undo-vs-redo", lambda: undo_vs_redo_ablation(
+        scale=args.scale, seed=args.seed))
+    print(format_series(
+        {name: {key: value for key, value in row.items()
+                if key.endswith("speedup")}
+         for name, row in redo.items()},
+        "benchmark", "redo/undo throughput",
+        "Ablation: undo vs redo logging (writeback-dropping designs)"))
+
+
+def cmd_run(args) -> None:
+    from .runner import run_benchmark
+    result = _timed(
+        f"{args.benchmark}/{args.design}",
+        lambda: run_benchmark(args.benchmark, args.design,
+                              n_threads=args.threads,
+                              seed=args.seed))
+    if args.json:
+        print(result.to_json())
+        return
+    print(result)
+    print(f"  throughput        : {result.throughput / 1e6:.3f} M FASEs/s")
+    print(f"  committed/aborted : {result.fases_committed}/"
+          f"{result.fases_aborted}")
+    print(f"  misspeculations   : {result.load_misspeculations} load, "
+          f"{result.store_misspeculations} store")
+    for section in ("design", "spec_buffer", "pmc", "hierarchy"):
+        stats = result.stats.get(section, {})
+        if stats:
+            rendered = ", ".join(f"{k}={v}" for k, v in
+                                 sorted(stats.items())[:8])
+            print(f"  {section:<18}: {rendered}")
+
+
+def cmd_all(args) -> None:
+    cmd_table3(args)
+    print()
+    cmd_fig9(args)
+    print()
+    cmd_fig10(args)
+    print()
+    cmd_fig11(args)
+    print()
+    cmd_fig12(args)
+    print()
+    cmd_misspec(args)
+    print()
+    cmd_ablations(args)
+
+
+COMMANDS = {
+    "table3": cmd_table3,
+    "fig2": cmd_fig2,
+    "fig9": cmd_fig9,
+    "fig10": cmd_fig10,
+    "fig11": cmd_fig11,
+    "fig12": cmd_fig12,
+    "misspec": cmd_misspec,
+    "ablations": cmd_ablations,
+    "run": cmd_run,
+    "all": cmd_all,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the PMEM-Spec paper's tables and figures.")
+    parser.add_argument("experiment", choices=sorted(COMMANDS))
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="FASE-count multiplier (default 1.0)")
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--cores", default="16,32,64",
+                        help="core counts for fig10")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--benchmark", default="tpcc",
+                        help="benchmark for the `run` command")
+    parser.add_argument("--design", default="PMEM-Spec",
+                        help="design for the `run` command")
+    parser.add_argument("--json", action="store_true",
+                        help="emit JSON (run command)")
+    parser.add_argument("--save", default=None, metavar="DIR",
+                        help="also write the experiment's data as JSON")
+    args = parser.parse_args(argv)
+    COMMANDS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

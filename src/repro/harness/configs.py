@@ -1,0 +1,50 @@
+"""Experiment configurations and the Table 3 pretty-printer."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..config import SystemConfig, table3_config
+
+DESIGNS = ("IntelX86", "DPO", "HOPS", "PMEM-Spec")
+BASELINE = "IntelX86"
+
+# Table 4 order (the order Figures 9 and 10 use).
+BENCHMARK_ORDER = ("array_swaps", "queue", "hashmap", "rbtree",
+                   "tatp", "tpcc", "vacation", "memcached")
+
+
+def table3_rows(config: SystemConfig = None) -> List[Tuple[str, str]]:
+    """The paper's Table 3 as (component, description) rows."""
+    cfg = config or table3_config()
+    return [
+        ("Core", f"{cfg.freq_ghz:.0f}GHz, {cfg.issue_width}way-OoO"),
+        ("", f"{cfg.rob_entries}-entry ROB"),
+        ("", f"{cfg.store_queue_entries}-entry Ld/St Queue"),
+        ("L1 I/D Cache", f"32/{cfg.l1_size_bytes // 1024}KB, "
+                         f"{cfg.l1_ways}-way, private"),
+        ("", f"{cfg.l1_hit_ns:.0f}ns hit latency"),
+        ("L2 Cache", f"{cfg.l2_size_bytes // (1024 * 1024)}MB, "
+                     f"{cfg.l2_ways}-way, shared"),
+        ("", f"{cfg.l2_hit_ns:.0f}ns hit latency"),
+        ("PM Controller", f"{cfg.pmc_read_queue}/{cfg.pmc_write_queue}-entry "
+                          f"read/write queue"),
+        ("", f"{cfg.spec_buffer_entries}-entry speculation buffer"),
+        ("PM", f"Read = {cfg.pm_read_ns:.0f}ns/"
+               f"Write = {cfg.pm_write_ns:.0f}ns"),
+        ("Persist-Path", f"{cfg.persist_path_ns:.0f}ns"),
+    ]
+
+
+def format_table3(config: SystemConfig = None) -> str:
+    rows = table3_rows(config)
+    width = max(len(name) for name, _ in rows)
+    lines = ["Table 3: Simulator configuration", "-" * 44]
+    for name, description in rows:
+        lines.append(f"{name:<{width}}  {description}")
+    return "\n".join(lines)
+
+
+def default_config(n_cores: int = 8, **overrides) -> SystemConfig:
+    """The main-experiment configuration (Table 3 with n_cores cores)."""
+    return table3_config(n_cores=n_cores, **overrides)

@@ -1,0 +1,273 @@
+"""The paper's experiments, one entry point per table/figure.
+
+Every function returns plain data (dictionaries of normalised
+throughput or event counts) and leaves rendering to
+:mod:`repro.harness.report`; the benchmarks in ``benchmarks/`` and the
+CLI (``python -m repro.harness``) both call these.
+
+``scale`` multiplies the per-thread FASE counts: 1.0 is the default
+test-friendly size; larger values tighten the statistics at the cost of
+runtime (the paper runs 100K FASEs per thread on gem5 -- see DESIGN.md
+for the scaling substitution).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..config import SystemConfig
+from ..persistency import design_by_name
+from ..sim import geomean
+from ..system import build_system
+from ..workloads import (
+    BENCHMARKS,
+    LoadMisspecProbe,
+    StoreMisspecProbe,
+    workload_by_name,
+)
+from .configs import BASELINE, BENCHMARK_ORDER, DESIGNS, default_config
+from .runner import compare_designs, normalized_throughput
+
+
+def _fases(benchmark: str, scale: float) -> int:
+    return max(5, round(BENCHMARKS[benchmark].default_fases * scale))
+
+
+def figure9(n_threads: int = 8, scale: float = 1.0, seed: int = 42,
+            designs: Sequence[str] = DESIGNS,
+            benchmarks: Sequence[str] = BENCHMARK_ORDER,
+            config: Optional[SystemConfig] = None
+            ) -> Dict[str, Dict[str, float]]:
+    """Figure 9: normalised throughput, all designs, 8-core system."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for benchmark in benchmarks:
+        results = compare_designs(
+            benchmark, designs, n_threads,
+            fases_per_thread=_fases(benchmark, scale), seed=seed,
+            config=config)
+        rows[benchmark] = normalized_throughput(results)
+    return rows
+
+
+def figure10(core_counts: Sequence[int] = (16, 32, 64), scale: float = 1.0,
+             seed: int = 42, designs: Sequence[str] = DESIGNS,
+             benchmarks: Sequence[str] = BENCHMARK_ORDER
+             ) -> Dict[int, Dict[str, Dict[str, float]]]:
+    """Figure 10: the same comparison at 16/32/64 cores."""
+    return {cores: figure9(n_threads=cores, scale=scale, seed=seed,
+                           designs=designs, benchmarks=benchmarks)
+            for cores in core_counts}
+
+
+def figure10_summary(results: Dict[int, Dict[str, Dict[str, float]]]
+                     ) -> Dict[int, Dict[str, float]]:
+    """Geomean per design per core count (the margins §8.3.1 quotes)."""
+    summary: Dict[int, Dict[str, float]] = {}
+    for cores, rows in results.items():
+        summary[cores] = {
+            design: geomean([rows[b][design] for b in rows])
+            for design in next(iter(rows.values()))}
+    return summary
+
+
+def figure11(buffer_sizes: Sequence[int] = (1, 2, 4, 8, 16),
+             n_threads: int = 8, scale: float = 1.0, seed: int = 42,
+             benchmarks: Sequence[str] = BENCHMARK_ORDER
+             ) -> Dict[int, float]:
+    """Figure 11: PMEM-Spec average throughput vs speculation-buffer
+    size, normalised to the largest (overflow-free) size.
+
+    Runs with the *paper's* compiler behaviour (§5.2.2: every store in a
+    critical section is tagged) -- the buffer pressure that makes this
+    figure interesting comes from those tagged persists; this repo's
+    escape-analysis refinement is evaluated separately as an ablation.
+    """
+    throughput: Dict[int, float] = {}
+    for size in buffer_sizes:
+        config = default_config(n_cores=n_threads,
+                                spec_buffer_entries=size,
+                                extra={"tag_private_stores": 1})
+        per_benchmark = []
+        for benchmark in benchmarks:
+            workload = workload_by_name(benchmark, seed=seed)
+            program = workload.build(n_threads, _fases(benchmark, scale))
+            system = build_system(program, design_by_name("PMEM-Spec"),
+                                  config)
+            per_benchmark.append(system.run().throughput)
+        throughput[size] = geomean(per_benchmark)
+    top = throughput[max(buffer_sizes)]
+    return {size: value / top for size, value in throughput.items()}
+
+
+def figure12(latencies_ns: Sequence[float] = (20, 40, 60, 80, 100),
+             n_threads: int = 8, scale: float = 1.0, seed: int = 42,
+             benchmarks: Sequence[str] = BENCHMARK_ORDER
+             ) -> Dict[float, Dict[str, float]]:
+    """Figure 12: geomean throughput of HOPS and PMEM-Spec (normalised
+    to the IntelX86 baseline) as the persist-path latency grows."""
+    out: Dict[float, Dict[str, float]] = {}
+    for latency in latencies_ns:
+        config = default_config(n_cores=n_threads,
+                                persist_path_ns=float(latency))
+        rows = figure9(n_threads=n_threads, scale=scale, seed=seed,
+                       designs=("IntelX86", "HOPS", "PMEM-Spec"),
+                       benchmarks=benchmarks, config=config)
+        out[latency] = {
+            design: geomean([rows[b][design] for b in rows])
+            for design in ("HOPS", "PMEM-Spec")}
+    return out
+
+
+def misspeculation_rates(n_threads: int = 8, scale: float = 1.0,
+                         seed: int = 42) -> List[Dict]:
+    """§8.4: misspeculation counts.
+
+    Every Table 4 benchmark under the default configuration (expected:
+    zero), plus the two synthetic probes that force each violation kind
+    (expected: detections with successful recovery), plus the load probe
+    at the paper's 20 ns latency (expected: zero again).
+    """
+    rows: List[Dict] = []
+
+    def record(workload_name, config_name, result):
+        rows.append({
+            "workload": workload_name,
+            "config": config_name,
+            "load_misspec": result.load_misspeculations,
+            "store_misspec": result.store_misspeculations,
+            "stale_loads": result.stale_loads,
+            "aborts": result.fases_aborted,
+            "commits": result.fases_committed,
+        })
+
+    for benchmark in BENCHMARK_ORDER:
+        workload = workload_by_name(benchmark, seed=seed)
+        program = workload.build(n_threads, _fases(benchmark, scale))
+        system = build_system(program, design_by_name("PMEM-Spec"),
+                              default_config(n_cores=n_threads))
+        record(benchmark, "table3", system.run())
+
+    probe = LoadMisspecProbe(seed=seed)
+    program = probe.build(2, max(5, round(10 * scale)))
+    system = build_system(program, design_by_name("PMEM-Spec"),
+                          LoadMisspecProbe.recommended_config(2, True))
+    record(probe.name, "125x path", system.run())
+
+    probe = LoadMisspecProbe(seed=seed)
+    program = probe.build(2, max(5, round(10 * scale)))
+    system = build_system(program, design_by_name("PMEM-Spec"),
+                          LoadMisspecProbe.recommended_config(2, False))
+    record(probe.name, "20ns path", system.run())
+
+    probe = StoreMisspecProbe(seed=seed)
+    program = probe.build(2, max(5, round(20 * scale)))
+    system = build_system(program, design_by_name("PMEM-Spec"),
+                          StoreMisspecProbe.recommended_config(2))
+    system.persist_path.set_core_extra(
+        0, StoreMisspecProbe.slow_core_extra_cycles())
+    record(probe.name, "congested ring", system.run())
+    return rows
+
+
+def lazy_vs_eager_recovery(scale: float = 1.0, seed: int = 42) -> Dict:
+    """Ablation (§6.2): recovery-scheme cost under forced misspeculation.
+
+    Runs the store-misspeculation probe under both recovery modes and
+    reports cycles and abort counts.
+    """
+    out = {}
+    for mode in ("lazy", "eager"):
+        probe = StoreMisspecProbe(seed=seed)
+        program = probe.build(2, max(10, round(30 * scale)))
+        system = build_system(program, design_by_name("PMEM-Spec"),
+                              StoreMisspecProbe.recommended_config(2),
+                              recovery_mode=mode)
+        system.persist_path.set_core_extra(
+            0, StoreMisspecProbe.slow_core_extra_cycles())
+        result = system.run()
+        out[mode] = {"cycles": result.cycles,
+                     "aborts": result.fases_aborted,
+                     "store_misspec": result.store_misspeculations,
+                     "commits": result.fases_committed}
+    return out
+
+
+def undo_vs_redo_ablation(n_threads: int = 4, scale: float = 1.0,
+                          seed: int = 42,
+                          benchmarks: Sequence[str] = ("hashmap", "tpcc",
+                                                       "memcached"),
+                          designs: Sequence[str] = ("PMEM-Spec", "HOPS")
+                          ) -> Dict[str, Dict[str, float]]:
+    """Ablation: undo vs redo logging on the writeback-dropping designs.
+
+    Redo needs no intra-FASE ordering points at all under a FIFO
+    persistence channel (see :mod:`repro.runtime.redo_log`), at the cost
+    of commit-time replay stores; this reports the throughput ratio.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for benchmark in benchmarks:
+        row: Dict[str, float] = {}
+        for design in designs:
+            for log_mode in ("undo", "redo"):
+                workload = workload_by_name(benchmark, seed=seed)
+                program = workload.build(n_threads,
+                                         _fases(benchmark, scale))
+                system = build_system(program, design_by_name(design),
+                                      default_config(n_cores=n_threads),
+                                      log_mode=log_mode)
+                row[f"{design}/{log_mode}"] = system.run().throughput
+            row[f"{design}_redo_speedup"] = (
+                row[f"{design}/redo"] / row[f"{design}/undo"])
+        out[benchmark] = row
+    return out
+
+
+def figure2_annotation_burden(benchmarks: Sequence[str] = ("queue",
+                                                           "tpcc"),
+                              seed: int = 42) -> Dict[str, Dict[str, float]]:
+    """Figure 2, quantified: average programmer-visible ordering
+    annotations per FASE under each model's ISA."""
+    from ..compiler import annotation_burden
+    out: Dict[str, Dict[str, float]] = {}
+    for benchmark in benchmarks:
+        workload = workload_by_name(benchmark, seed=seed)
+        program = workload.build(2, 10)
+        totals = {"x86": 0, "hops": 0, "strand": 0, "pmemspec": 0}
+        count = 0
+        for thread in program.threads:
+            for fase in thread.fases:
+                if not fase.writes:
+                    continue
+                count += 1
+                for flavor in totals:
+                    totals[flavor] += annotation_burden(
+                        fase, flavor)["programmer_visible"]
+        out[benchmark] = {flavor: total / max(1, count)
+                          for flavor, total in totals.items()}
+    return out
+
+
+def naive_tagging_ablation(n_threads: int = 8, scale: float = 1.0,
+                           seed: int = 42,
+                           benchmarks: Sequence[str] = ("array_swaps",
+                                                        "rbtree", "tpcc")
+                           ) -> Dict[str, Dict[str, float]]:
+    """Ablation: spec-tagging *every* critical-section store (a compiler
+    without escape analysis) vs tagging only provably-shared ones.
+    Reports normalised throughput and buffer overflows."""
+    out: Dict[str, Dict[str, float]] = {}
+    for benchmark in benchmarks:
+        row = {}
+        for label, extra in (("escape-analysis", {}),
+                             ("naive", {"tag_private_stores": 1})):
+            workload = workload_by_name(benchmark, seed=seed)
+            program = workload.build(n_threads, _fases(benchmark, scale))
+            config = default_config(n_cores=n_threads, extra=dict(extra))
+            system = build_system(program, design_by_name("PMEM-Spec"),
+                                  config)
+            result = system.run()
+            row[label] = result.throughput
+            row[f"{label}_overflows"] = float(result.spec_buffer_overflows)
+        row["slowdown"] = row["escape-analysis"] / row["naive"]
+        out[benchmark] = row
+    return out

@@ -1,0 +1,83 @@
+"""ASCII reporting: the tables and series the paper's figures plot."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..sim import geomean
+
+
+def format_normalized_table(rows: Dict[str, Dict[str, float]],
+                            designs: Sequence[str], title: str,
+                            baseline: str = "IntelX86") -> str:
+    """Benchmarks x designs table of throughput normalised to baseline,
+    with a geomean summary row (what Figures 9 and 10 plot)."""
+    name_width = max(len(name) for name in list(rows) + ["geomean"]) + 2
+    header = f"{'benchmark':<{name_width}}" + "".join(
+        f"{design:>12}" for design in designs)
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for benchmark, values in rows.items():
+        line = f"{benchmark:<{name_width}}"
+        for design in designs:
+            line += f"{values[design]:>12.3f}"
+        lines.append(line)
+    lines.append("-" * len(header))
+    summary = f"{'geomean':<{name_width}}"
+    for design in designs:
+        summary += f"{geomean([rows[b][design] for b in rows]):>12.3f}"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_series(points: Dict, x_label: str, y_label: str,
+                  title: str) -> str:
+    """A one-parameter sweep as an x/y table (Figures 11 and 12)."""
+    lines = [title, "=" * max(len(title), 40),
+             f"{x_label:>16} | {y_label}"]
+    lines.append("-" * max(len(title), 40))
+    for x_value, y_value in points.items():
+        if isinstance(y_value, dict):
+            rendered = "  ".join(f"{name}={value:.3f}"
+                                 for name, value in y_value.items())
+        else:
+            rendered = f"{y_value:.3f}"
+        lines.append(f"{x_value!s:>16} | {rendered}")
+    return "\n".join(lines)
+
+
+def format_bar_chart(values: Dict[str, float], title: str,
+                     width: int = 48, reference: float = None) -> str:
+    """Horizontal ASCII bars (the closest a terminal gets to Figure 9).
+
+    ``reference`` draws a tick at that value (e.g. the 1.0 baseline)."""
+    if not values:
+        raise ValueError("nothing to plot")
+    top = max(values.values())
+    if top <= 0:
+        raise ValueError("bar values must be positive")
+    label_width = max(len(name) for name in values) + 2
+    lines = [title, "-" * (label_width + width + 8)]
+    for name, value in values.items():
+        bar_len = max(1, round(width * value / top))
+        bar = "#" * bar_len
+        if reference is not None and 0 < reference <= top:
+            tick = max(1, round(width * reference / top)) - 1
+            if tick >= len(bar):
+                bar = bar + " " * (tick - len(bar)) + "|"
+            else:
+                bar = bar[:tick] + "|" + bar[tick + 1:]
+        lines.append(f"{name:<{label_width}}{value:6.3f}  {bar}")
+    return "\n".join(lines)
+
+
+def format_misspec_table(rows: List[Dict], title: str) -> str:
+    """Misspeculation-rate report (§8.4)."""
+    header = (f"{'workload':<22}{'config':<18}{'load':>6}{'store':>7}"
+              f"{'stale':>7}{'aborts':>8}{'commits':>9}")
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['workload']:<22}{row['config']:<18}"
+            f"{row['load_misspec']:>6}{row['store_misspec']:>7}"
+            f"{row['stale_loads']:>7}{row['aborts']:>8}{row['commits']:>9}")
+    return "\n".join(lines)

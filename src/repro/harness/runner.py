@@ -1,0 +1,61 @@
+"""Single-run and comparison drivers used by every experiment."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..config import SystemConfig
+from ..persistency import design_by_name
+from ..system import SimResult, build_system
+from ..workloads import workload_by_name
+from .configs import BASELINE, BENCHMARK_ORDER, DESIGNS, default_config
+
+
+def run_benchmark(benchmark: str, design: str, n_threads: int = 8,
+                  fases_per_thread: Optional[int] = None, seed: int = 42,
+                  config: Optional[SystemConfig] = None,
+                  recovery_mode: str = "lazy") -> SimResult:
+    """Run one (benchmark, design) pair to completion."""
+    workload = workload_by_name(benchmark, seed=seed)
+    if fases_per_thread is None:
+        fases_per_thread = workload.default_fases
+    program = workload.build(n_threads, fases_per_thread)
+    cfg = config or default_config(n_cores=n_threads)
+    if cfg.n_cores != n_threads:
+        cfg = cfg.with_overrides(n_cores=n_threads)
+    system = build_system(program, design_by_name(design), cfg,
+                          recovery_mode=recovery_mode)
+    return system.run()
+
+
+def compare_designs(benchmark: str, designs: Iterable[str] = DESIGNS,
+                    n_threads: int = 8,
+                    fases_per_thread: Optional[int] = None, seed: int = 42,
+                    config: Optional[SystemConfig] = None
+                    ) -> Dict[str, SimResult]:
+    """Run one benchmark under several designs (same workload seed)."""
+    return {design: run_benchmark(benchmark, design, n_threads,
+                                  fases_per_thread, seed, config)
+            for design in designs}
+
+
+def normalized_throughput(results: Dict[str, SimResult],
+                          baseline: str = BASELINE) -> Dict[str, float]:
+    """Throughput of each design relative to the baseline design."""
+    base = results[baseline].throughput
+    if base <= 0:
+        raise ValueError(f"baseline {baseline} produced no throughput")
+    return {design: result.throughput / base
+            for design, result in results.items()}
+
+
+def full_comparison(n_threads: int = 8,
+                    fases_per_thread: Optional[int] = None, seed: int = 42,
+                    config: Optional[SystemConfig] = None,
+                    benchmarks: Iterable[str] = BENCHMARK_ORDER,
+                    designs: Iterable[str] = DESIGNS
+                    ) -> Dict[str, Dict[str, SimResult]]:
+    """Every benchmark under every design: the Figure 9/10 grid."""
+    return {benchmark: compare_designs(benchmark, designs, n_threads,
+                                       fases_per_thread, seed, config)
+            for benchmark in benchmarks}

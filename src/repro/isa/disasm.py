@@ -1,0 +1,82 @@
+"""Trace disassembly: human-readable dumps of lowered machine code.
+
+Useful for debugging lowering changes and for the documentation
+examples; :func:`disassemble_fase` renders one FASE's op stream with
+addresses annotated by region (data / log / epoch word), and
+:func:`compare_flavors` renders several lowerings side by side (the
+Figure 2 view)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .instructions import (
+    FaseBegin,
+    FaseEnd,
+    Ld,
+    MachineOp,
+    St,
+    describe,
+    is_barrier,
+)
+
+
+def _region(addr: int) -> str:
+    # Imported lazily: repro.runtime imports repro.isa at package load.
+    from ..runtime.heap import is_log_address, thread_of_log_address
+    if is_log_address(addr):
+        return f"log[t{thread_of_log_address(addr)}]"
+    return "data"
+
+
+def render_op(op: MachineOp) -> str:
+    """One op as a disassembly line."""
+    if isinstance(op, St):
+        tags = [op.kind, _region(op.addr)]
+        if op.log_of is not None:
+            tags.append(f"old-of 0x{op.log_of:x}")
+        if op.kind == "data" and not op.shared:
+            tags.append("private")
+        return f"st    0x{op.addr:x}, {op.value}   ; {', '.join(tags)}"
+    if isinstance(op, Ld):
+        return f"ld    0x{op.addr:x}         ; {_region(op.addr)}"
+    if isinstance(op, (FaseBegin, FaseEnd)):
+        return f"--- {describe(op)} ---"
+    text = describe(op)
+    if is_barrier(op):
+        return text.upper()
+    return text
+
+
+def disassemble(ops: Iterable[MachineOp]) -> List[str]:
+    """Render an op stream as disassembly lines."""
+    return [render_op(op) for op in ops]
+
+
+def disassemble_fase(lowered) -> str:
+    """Render a :class:`~repro.compiler.LoweredFase` with a header."""
+    header = (f"; fase {lowered.fase_id} thread {lowered.thread_id} "
+              f"flavor {lowered.flavor} ({len(lowered.ops)} ops)")
+    return "\n".join([header] + disassemble(lowered.ops))
+
+
+def compare_flavors(fase, thread_id: int = 0, epoch: int = 0,
+                    flavors: Iterable[str] = ("x86", "hops", "pmemspec"),
+                    width: int = 44) -> str:
+    """Side-by-side disassembly of one FASE under several flavors."""
+    from ..compiler import lower_fase
+    columns = {flavor: disassemble(
+        lower_fase(fase, thread_id, flavor, epoch=epoch).ops)
+        for flavor in flavors}
+    depth = max(len(lines) for lines in columns.values())
+    header = "".join(f"{flavor:<{width}}" for flavor in columns)
+    rows = [header, "-" * (width * len(columns))]
+    for index in range(depth):
+        row = ""
+        for lines in columns.values():
+            cell = lines[index] if index < len(lines) else ""
+            if len(cell) >= width:
+                cell = cell[:width - 2] + ".."
+            row += f"{cell:<{width}}"
+        rows.append(row.rstrip())
+    return "\n".join(rows)

@@ -1,0 +1,153 @@
+"""Set-associative write-back cache with LRU replacement.
+
+Lines carry their block's byte contents as a sparse ``{addr: value}``
+map so that flushes and writebacks persist exactly what the cache holds
+-- which is what makes stale reads (PMEM-Spec's load misspeculation)
+representable: a block fetched from the PM device can disagree with the
+architectural image while the new value is still on the persist path.
+
+Coherence state is MESI-lite (I/S/E/M); the hierarchy maintains the
+inter-cache protocol, this class only stores per-line state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..sim import Counter
+
+INVALID = "I"
+SHARED = "S"
+EXCLUSIVE = "E"
+MODIFIED = "M"
+
+_VALID_STATES = (SHARED, EXCLUSIVE, MODIFIED)
+
+
+class CacheLine:
+    """One cache line: block tag, MESI state, contents, LRU stamp."""
+
+    __slots__ = ("block", "state", "data", "lru_tick")
+
+    def __init__(self, block: int, state: str, data: Dict[int, int],
+                 lru_tick: int):
+        self.block = block
+        self.state = state
+        self.data = data
+        self.lru_tick = lru_tick
+
+    @property
+    def dirty(self) -> bool:
+        return self.state == MODIFIED
+
+    def __repr__(self) -> str:
+        return f"CacheLine(block={self.block}, state={self.state})"
+
+
+class EvictedLine:
+    """A victim pushed out by :meth:`Cache.insert`."""
+
+    __slots__ = ("block", "state", "data")
+
+    def __init__(self, line: CacheLine):
+        self.block = line.block
+        self.state = line.state
+        self.data = line.data
+
+    @property
+    def dirty(self) -> bool:
+        return self.state == MODIFIED
+
+
+class Cache:
+    """An ``n_sets x n_ways`` write-back cache."""
+
+    def __init__(self, name: str, n_sets: int, n_ways: int):
+        if n_sets < 1 or n_ways < 1:
+            raise ValueError("cache geometry must be positive")
+        self.name = name
+        self.n_sets = n_sets
+        self.n_ways = n_ways
+        self._sets: Dict[int, List[CacheLine]] = {}
+        self._tick = 0
+        self.stats = Counter()
+
+    def _set_of(self, block: int) -> List[CacheLine]:
+        return self._sets.setdefault(block % self.n_sets, [])
+
+    def _next_tick(self) -> int:
+        self._tick += 1
+        return self._tick
+
+    def lookup(self, block: int, touch: bool = True) -> Optional[CacheLine]:
+        """Find the line holding ``block``; optionally refresh its LRU age."""
+        for line in self._set_of(block):
+            if line.block == block:
+                if touch:
+                    line.lru_tick = self._next_tick()
+                return line
+        return None
+
+    def insert(self, block: int, data: Dict[int, int],
+               state: str) -> Optional[EvictedLine]:
+        """Install ``block``; returns the evicted victim if the set was full.
+
+        Inserting a block that is already present replaces its contents
+        and state in place (no eviction).
+        """
+        if state not in _VALID_STATES:
+            raise ValueError(f"cannot insert line in state {state!r}")
+        cache_set = self._set_of(block)
+        existing = self.lookup(block, touch=True)
+        if existing is not None:
+            existing.data = data
+            existing.state = state
+            return None
+        victim: Optional[EvictedLine] = None
+        if len(cache_set) >= self.n_ways:
+            loser = min(cache_set, key=lambda line: line.lru_tick)
+            cache_set.remove(loser)
+            victim = EvictedLine(loser)
+            self.stats.add("evictions")
+            if victim.dirty:
+                self.stats.add("dirty_evictions")
+        cache_set.append(CacheLine(block, state, data, self._next_tick()))
+        self.stats.add("fills")
+        return victim
+
+    def write(self, block: int, addr: int, value: int) -> None:
+        """Write one word into a resident line and mark it MODIFIED."""
+        line = self.lookup(block)
+        if line is None:
+            raise KeyError(f"{self.name}: write to non-resident block {block}")
+        line.data[addr] = value
+        line.state = MODIFIED
+
+    def downgrade(self, block: int, state: str) -> Optional[CacheLine]:
+        """Change a resident line's state (M->S on sharing, etc.)."""
+        line = self.lookup(block, touch=False)
+        if line is not None:
+            line.state = state
+        return line
+
+    def invalidate(self, block: int) -> Optional[EvictedLine]:
+        """Drop ``block`` if resident; returns its final contents."""
+        cache_set = self._set_of(block)
+        for line in cache_set:
+            if line.block == block:
+                cache_set.remove(line)
+                self.stats.add("invalidations")
+                return EvictedLine(line)
+        return None
+
+    def resident_blocks(self) -> Iterator[int]:
+        for cache_set in self._sets.values():
+            for line in cache_set:
+                yield line.block
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets.values())
+
+    def __contains__(self, block: int) -> bool:
+        return self.lookup(block, touch=False) is not None

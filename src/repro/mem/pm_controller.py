@@ -1,0 +1,167 @@
+"""The persistent-memory controller (PMC).
+
+The PMC owns the read and write-pending queues (Table 3: 32/64 entries)
+and the durability point: under ADR (§8.1) a write is durable once it is
+*accepted* into the write queue, so acceptance times are what fences and
+spec-barriers wait on.
+
+Behavioural differences between the four evaluated designs are injected
+through a :class:`PMCPolicy`:
+
+* the **default** policy (IntelX86/DPO) persists CLWB data and LLC dirty
+  writebacks;
+* **HOPS** adds a bloom-filter lookup to every PM read and persists from
+  its per-core persist buffers;
+* **PMEM-Spec** (:mod:`repro.core.pmem_spec`) silently *drops* LLC
+  writeback data, persists only persist-path messages, and feeds every
+  arrival into the speculation buffer's automaton.
+
+All policy hooks run at message *arrival time* in global time order (the
+controller schedules them on the event heap), which is what makes the
+``WriteBack - Read - Persist`` misspeculation pattern detectable exactly
+as in Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import SystemConfig
+from ..sim import CapacityQueue, Counter, Environment, Event
+from .interconnect import PersistMessage
+from .pm_device import PMDevice
+
+
+class PMCPolicy:
+    """Default (baseline) PMC behaviour; designs override pieces."""
+
+    def attach(self, pmc: "PMController") -> None:
+        self.pmc = pmc
+
+    def read_delay(self, block: int, now: int) -> int:
+        """Extra cycles charged before a PM read is enqueued (HOPS bloom)."""
+        return 0
+
+    def on_read(self, block: int, now: int) -> None:
+        """Called at read-arrival time, in global time order."""
+
+    def on_writeback(self, block_addr: int, data: Dict[int, int],
+                     now: int) -> None:
+        """Called at writeback-arrival time; baselines persist the block."""
+        self.pmc.device.persist_block(block_addr, data, now)
+
+    def on_persist(self, msg: PersistMessage, now: int) -> None:
+        """Called at persist-path message arrival; persists the store."""
+        self.pmc.device.persist_store(msg.addr, msg.value, now)
+
+
+class PMController:
+    """Read/write queueing plus policy dispatch for one PM channel."""
+
+    def __init__(self, env: Environment, config: SystemConfig,
+                 device: PMDevice, policy: Optional[PMCPolicy] = None):
+        self.env = env
+        self.config = config
+        self.device = device
+        self.policy = policy or PMCPolicy()
+        self.policy.attach(self)
+        self.read_queue = CapacityQueue(
+            capacity=config.pmc_read_queue,
+            drain_latency=config.ns(config.pm_read_ns),
+            width=config.pmc_banks, name="pmc.read")
+        self.write_queue = CapacityQueue(
+            capacity=config.pmc_write_queue,
+            drain_latency=config.ns(config.pm_write_ns),
+            width=config.pmc_write_banks, name="pmc.write")
+        # Open (not yet drained) WPQ entries by block: the controller
+        # "coalesces and buffers the store data" (§4.2), so stores landing
+        # in a block whose entry is still pending merge into it instead of
+        # consuming another entry.
+        self._wpq_open: Dict[int, tuple] = {}
+        # Per-core FIFO clamp for persist-path acceptance times.
+        self._core_fifo: Dict[int, int] = {}
+        self.stats = Counter()
+
+    def _wpq_admit(self, block: int, arrival: int) -> int:
+        """Admit one block-granular write; coalesces into a pending entry
+        for the same block when possible.  Returns the ADR-acceptance time."""
+        entry = self._wpq_open.get(block)
+        if entry is not None:
+            booked_at, accept, drain = entry
+            if booked_at <= arrival < drain:
+                self.stats.add("wpq_coalesced")
+                return max(arrival, accept)
+        accept, drain = self.write_queue.push(arrival)
+        self._wpq_open[block] = (arrival, accept, drain)
+        if len(self._wpq_open) > 4096:
+            self._wpq_open = {b: e for b, e in self._wpq_open.items()
+                              if e[2] > arrival}
+        return accept
+
+    # ---------------------------------------------------------------- reads
+
+    def read_block(self, block: int, now: int):
+        """Fetch a block from PM for the regular path.
+
+        Returns ``(event, done)``: the event fires at ``done`` with the
+        block contents *as persisted at arrival time* -- the stale-read
+        semantics of §5.1: a value still in flight on the persist path is
+        not visible.  ``done`` is exposed synchronously so the core can
+        model memory-level parallelism without blocking on the event.
+        """
+        self.stats.add("reads")
+        delay = self.policy.read_delay(block, now)
+        if delay:
+            self.stats.add("read_delay_cycles", delay)
+        accept, done = self.read_queue.push(now + delay)
+        completion = self.env.event()
+        content_cell: Dict[int, int] = {}
+
+        def at_arrival() -> None:
+            self.policy.on_read(block, self.env.now)
+            content_cell.update(self.device.block_content(block))
+
+        self.env.call_at(accept, at_arrival)
+        self.env.call_at(done, lambda: completion.succeed(
+            (dict(content_cell), done)))
+        return completion, done
+
+    # ----------------------------------------------------------- writebacks
+
+    def accept_writeback(self, block_addr: int, data: Dict[int, int],
+                         arrival: int) -> int:
+        """An LLC dirty eviction or CLWB flush arriving from the regular
+        path.  Returns the write-queue acceptance (durability) time."""
+        self.stats.add("writebacks")
+        accept = self._wpq_admit(block_addr >> 6, arrival)
+        snapshot = dict(data)
+        self.env.call_at(
+            accept, lambda: self.policy.on_writeback(
+                block_addr, snapshot, self.env.now))
+        return accept
+
+    # -------------------------------------------------------- persist path
+
+    def accept_persist(self, msg: PersistMessage, arrival: int) -> int:
+        """A persist-path store arriving; returns acceptance (ADR) time.
+
+        Acceptance is clamped to be FIFO per source core: the persist
+        path delivers a core's stores in commit order, and WPQ admission
+        must not reorder them (strict intra-thread persist order is the
+        property the undo-log protocol rests on)."""
+        self.stats.add("persists")
+        accept = self._wpq_admit(msg.addr >> 6, arrival)
+        previous = self._core_fifo.get(msg.core_id, 0)
+        if accept < previous:
+            accept = previous
+        self._core_fifo[msg.core_id] = accept
+        self.env.call_at(
+            accept, lambda: self.policy.on_persist(msg, self.env.now))
+        return accept
+
+    # -------------------------------------------------------------- helpers
+
+    def write_queue_drained(self, now: int) -> int:
+        """Time at which everything currently in the WPQ has reached the
+        device (only needed by explicit drain experiments, not ADR)."""
+        return self.write_queue.drain_complete_time(now)

@@ -1,0 +1,75 @@
+"""Persistent-memory device model.
+
+The device holds the *persisted image*: the byte values that would
+survive a power failure right now.  The architectural (volatile) image
+lives in :class:`repro.mem.hierarchy.MemoryImage`; crash-consistency
+tests diff the two.
+
+Following the paper's ADR assumption (§8.1), data is durable as soon as
+it is *accepted at the PM controller*, so the controller calls
+:meth:`persist_store` / :meth:`persist_block` at message-arrival time
+and the device merely records content plus a persist history for
+offline inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..isa import CACHE_BLOCK_BYTES, block_base
+
+
+class PMDevice:
+    """Byte-addressable persistent memory with a persisted-value image."""
+
+    def __init__(self, initial_image: Optional[Dict[int, int]] = None,
+                 record_history: bool = False):
+        self._image: Dict[int, int] = dict(initial_image or {})
+        self.record_history = record_history
+        # (time, addr, value, origin) tuples, origin in
+        # {"persist-path", "writeback", "recovery"}.
+        self.history: List[Tuple[int, int, int, str]] = []
+        self.stores_persisted = 0
+        self.blocks_persisted = 0
+
+    def read(self, addr: int) -> int:
+        """Persisted value at ``addr`` (0 if never written)."""
+        return self._image.get(addr, 0)
+
+    def block_content(self, block: int) -> Dict[int, int]:
+        """All persisted values inside cache block number ``block``."""
+        base = block * CACHE_BLOCK_BYTES
+        return {addr: value for addr, value in self._image.items()
+                if base <= addr < base + CACHE_BLOCK_BYTES}
+
+    def persist_store(self, addr: int, value: int, now: int,
+                      origin: str = "persist-path") -> None:
+        """Persist one store (persist-path message accepted at the PMC)."""
+        self._image[addr] = value
+        self.stores_persisted += 1
+        if self.record_history:
+            self.history.append((now, addr, value, origin))
+
+    def persist_block(self, addr: int, data: Dict[int, int], now: int,
+                      origin: str = "writeback") -> None:
+        """Persist a whole cache block (CLWB / LLC writeback accepted)."""
+        base = block_base(addr)
+        for byte_addr, value in data.items():
+            if not base <= byte_addr < base + CACHE_BLOCK_BYTES:
+                raise ValueError(
+                    f"block persist at 0x{base:x} carries out-of-block "
+                    f"address 0x{byte_addr:x}")
+            self._image[byte_addr] = value
+            if self.record_history:
+                self.history.append((now, byte_addr, value, origin))
+        self.blocks_persisted += 1
+
+    def snapshot(self) -> Dict[int, int]:
+        """Copy of the full persisted image (crash-test capture)."""
+        return dict(self._image)
+
+    def addresses(self) -> Iterator[int]:
+        return iter(self._image)
+
+    def __len__(self) -> int:
+        return len(self._image)

@@ -1,0 +1,7 @@
+"""Simulated OS layer: interrupt relay and process bookkeeping."""
+
+from .interrupts import InterruptController
+from .process import ContextSwitcher, ReverseMap, SimProcess
+
+__all__ = ["ContextSwitcher", "InterruptController", "ReverseMap",
+           "SimProcess"]

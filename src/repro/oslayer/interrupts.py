@@ -1,0 +1,61 @@
+"""The misspeculation interrupt path (§6.1.1).
+
+Hardware detects a violation, stores the physical address into an
+OS-designated space, and raises a special interrupt.  The OS handler
+reads the address, finds the owning process through the reverse map,
+and relays the signal to that process's registered failure-atomic
+runtime handler.  Interrupts for addresses no process owns are counted
+and dropped (a real kernel would log them).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.events import MisspeculationEvent
+from ..sim import Counter
+from .process import ReverseMap, SimProcess
+
+Handler = Callable[[MisspeculationEvent, int], None]
+
+
+class InterruptController:
+    """OS interrupt delivery for misspeculation events."""
+
+    def __init__(self, reverse_map: ReverseMap = None):
+        self.reverse_map = reverse_map or ReverseMap()
+        self._handlers: Dict[int, Handler] = {}
+        # The designated space the hardware writes addresses into; kept
+        # as a bounded trace for inspection.
+        self.designated_space: List[int] = []
+        self.stats = Counter()
+
+    def register_process(self, process: SimProcess, handler: Handler) -> None:
+        """A failure-atomic runtime registers its PID and handler
+        (§6.1.2's registration requirement)."""
+        self.reverse_map.register(process)
+        self._handlers[process.pid] = handler
+
+    def unregister_process(self, pid: int) -> None:
+        self.reverse_map.unregister(pid)
+        self._handlers.pop(pid, None)
+
+    def raise_misspeculation(self, event: MisspeculationEvent,
+                             now: int) -> bool:
+        """The hardware interrupt; returns True if a runtime was signalled."""
+        self.designated_space.append(event.physical_address)
+        if len(self.designated_space) > 64:
+            del self.designated_space[0]
+        self.stats.add("interrupts")
+        self.stats.add(f"interrupts_{event.kind}")
+        process = self.reverse_map.lookup(event.physical_address)
+        if process is None:
+            self.stats.add("unowned_interrupts")
+            return False
+        handler = self._handlers.get(process.pid)
+        if handler is None:
+            self.stats.add("handlerless_interrupts")
+            return False
+        handler(event, now)
+        self.stats.add("relayed_interrupts")
+        return True

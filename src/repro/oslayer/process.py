@@ -1,0 +1,88 @@
+"""OS-side process bookkeeping (§6.1.1).
+
+The OS must map the physical address the hardware reports on a
+misspeculation back to the process running the failure-atomic program,
+so it can relay the interrupt to the right runtime.  :class:`ReverseMap`
+is that physical-address -> process-ID table; :class:`SimProcess` is the
+unit it maps to.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class SimProcess:
+    """One failure-atomic process: a PID plus its registered PM ranges."""
+
+    def __init__(self, pid: int, name: str = ""):
+        if pid < 0:
+            raise ValueError("pid must be non-negative")
+        self.pid = pid
+        self.name = name or f"proc{pid}"
+        self.ranges: List[Tuple[int, int]] = []
+
+    def map_range(self, start: int, end: int) -> None:
+        if end <= start:
+            raise ValueError(f"empty range [{start:#x}, {end:#x})")
+        self.ranges.append((start, end))
+
+    def owns(self, addr: int) -> bool:
+        return any(start <= addr < end for start, end in self.ranges)
+
+    def __repr__(self) -> str:
+        return f"SimProcess(pid={self.pid}, ranges={len(self.ranges)})"
+
+
+class ReverseMap:
+    """Physical-address -> PID lookup the OS keeps for misspeculation
+    interrupts (§6.1.1)."""
+
+    def __init__(self) -> None:
+        self._processes: List[SimProcess] = []
+
+    def register(self, process: SimProcess) -> None:
+        for existing in self._processes:
+            if existing.pid == process.pid:
+                raise ValueError(f"pid {process.pid} already registered")
+        self._processes.append(process)
+
+    def unregister(self, pid: int) -> None:
+        self._processes = [p for p in self._processes if p.pid != pid]
+
+    def lookup(self, addr: int) -> Optional[SimProcess]:
+        for process in self._processes:
+            if process.owns(addr):
+                return process
+        return None
+
+    def __len__(self) -> int:
+        return len(self._processes)
+
+
+class ContextSwitcher:
+    """Round-robin software-thread scheduling over cores, virtualising the
+    per-core spec-ID registers across switches (§5.2.2).
+
+    The throughput experiments pin one thread per core; this class exists
+    to exercise (and test) the save/restore contract when threads
+    oversubscribe cores.
+    """
+
+    def __init__(self, spec_ids, n_cores: int):
+        self.spec_ids = spec_ids
+        self.n_cores = n_cores
+        # core -> thread currently scheduled on it (None == idle).
+        self.running: List[Optional[int]] = [None] * n_cores
+        self.switches = 0
+
+    def schedule(self, core_id: int, thread_id: int) -> Optional[int]:
+        """Put ``thread_id`` on ``core_id``; returns the descheduled
+        thread (whose spec-ID gets banked), if any."""
+        previous = self.running[core_id]
+        if previous is not None:
+            self.spec_ids.save(core_id, previous)
+        self.spec_ids.restore(core_id, thread_id)
+        self.running[core_id] = thread_id
+        self.switches += 1
+        return previous

@@ -1,0 +1,186 @@
+"""HOPS (Nalli et al., ASPLOS'17): the epoch-persistency baseline with
+custom light-weight fences (§8.1).
+
+* Every PM store enters a per-core **persist buffer** (alongside the
+  regular cache write) and drains to the PMC in FIFO -- hence epoch --
+  order in the background.
+* ``ofence`` marks an epoch boundary asynchronously: it never stalls.
+* ``dfence`` is the durability fence: it stalls until this core's
+  persist buffer has fully drained into the ADR domain.
+* The PMC holds a **bloom filter** of addresses still in persist
+  buffers; every PM load pays a lookup and is postponed on a (possibly
+  false-positive) conflict -- the §8.2.2 cost that hurts HOPS on the
+  load-heavy Mnemosyne benchmarks.
+* An extra bit rides the L1<->LLC bus for the sticky-M state, adding a
+  cycle of bus latency.
+
+LLC dirty writebacks are dropped; the persist buffers carry the data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..isa import block_of
+from ..mem import PMCPolicy
+from ..sim import CapacityQueue
+from .base import Design, PersistLog
+from .dpo import DropWritebacksPolicy
+
+
+class CountingBloom:
+    """A counting bloom filter supporting insert/remove/query."""
+
+    def __init__(self, bits: int, hashes: int):
+        if bits < 8 or hashes < 1:
+            raise ValueError("bloom filter too small")
+        self.bits = bits
+        self.hashes = hashes
+        self._counters = [0] * bits
+        self.inserts = 0
+
+    def _slots(self, key: int):
+        h = key * 0x9E3779B97F4A7C15 & (2 ** 64 - 1)
+        for i in range(self.hashes):
+            yield (h >> (i * 16)) % self.bits
+
+    def insert(self, key: int) -> None:
+        self.inserts += 1
+        for slot in self._slots(key):
+            self._counters[slot] += 1
+
+    def remove(self, key: int) -> None:
+        for slot in self._slots(key):
+            if self._counters[slot] > 0:
+                self._counters[slot] -= 1
+
+    def query(self, key: int) -> bool:
+        return all(self._counters[slot] > 0 for slot in self._slots(key))
+
+
+class HOPSPMCPolicy(DropWritebacksPolicy):
+    """Bloom-filter lookup on every PM read (§8.2.2)."""
+
+    def __init__(self, bloom: CountingBloom, lookup_cycles: int,
+                 conflict_delay: int):
+        self.bloom = bloom
+        self.lookup_cycles = lookup_cycles
+        self.conflict_delay = conflict_delay
+        self.lookups = 0
+        self.conflicts = 0
+
+    def read_delay(self, block: int, now: int) -> int:
+        self.lookups += 1
+        delay = self.lookup_cycles
+        if self.bloom.query(block):
+            self.conflicts += 1
+            delay += self.conflict_delay
+        return delay
+
+
+class HOPS(Design):
+    """Epoch persistency with ofence/dfence and PMC-side bloom filter."""
+
+    name = "HOPS"
+    flavor = "hops"
+    drops_llc_writebacks = True
+
+    def bind(self, system) -> None:
+        super().bind(system)
+        config = system.config
+        # §8.1/§8.2: the persist-buffer -> PMC path is "the persist path"
+        # whose latency Figure 12 sweeps (20 ns in the main experiments).
+        drain = (config.ns(config.persist_path_ns)
+                 + max(1, config.ns(config.ring_slot_ns)))
+        self._buffers: List[CapacityQueue] = [
+            CapacityQueue(capacity=config.hops_persist_buffer_entries,
+                          drain_latency=drain, width=1,
+                          name=f"hops.pb[{i}]")
+            for i in range(config.n_cores)]
+        # Persist-buffer entries are cache lines: stores to a block whose
+        # entry has not drained yet coalesce into it.
+        self._open_blocks: List[Dict[int, int]] = [
+            {} for _ in range(config.n_cores)]
+        # Epoch (FIFO) durability clamp: coalescing into an earlier
+        # pending line must not make a later store durable before stores
+        # buffered ahead of it -- buffered *epoch* persistency orders
+        # persists across epoch boundaries, and the undo-log protocol
+        # (entry durable before its data) depends on it.  Found by the
+        # RBTree/HOPS crash sweep.
+        self._fifo_drain: List[int] = [0] * config.n_cores
+        self.bloom = CountingBloom(config.hops_bloom_bits,
+                                   config.hops_bloom_hashes)
+        self._lookup_cycles = config.ns(config.hops_bloom_lookup_ns)
+        self._conflict_delay = config.ns(
+            config.extra.get("hops_conflict_delay_ns", 30.0))
+        self._log = PersistLog(system)
+        self._sticky_extra = config.ns(config.hops_sticky_bus_extra_ns)
+
+    def build_pmc_policy(self, index: int = 0) -> PMCPolicy:
+        # bind() runs before the system installs the policy; multi-PMC
+        # systems share one bloom filter (it tracks per-core buffers).
+        return HOPSPMCPolicy(self.bloom, self._lookup_cycles,
+                             self._conflict_delay)
+
+    @property
+    def bus_extra_cycles(self) -> int:
+        return self._sticky_extra
+
+    # -------------------------------------------------------------- stores
+
+    def store(self, core_id: int, addr: int, value: int, now: int,
+              to_pm: bool = True, kind: str = "data",
+              shared: bool = True) -> int:
+        done = self.system.hierarchy.store(core_id, addr, value, now)
+        if to_pm:
+            block = block_of(addr)
+            open_blocks = self._open_blocks[core_id]
+            pending = open_blocks.get(block)
+            if pending is not None and now < pending:
+                # Coalesce into the line already sitting in the buffer.
+                self.stats.add("pb_coalesced")
+                drained = pending
+            else:
+                buffer = self._buffers[core_id]
+                accept, drained = buffer.push(now)
+                if accept > now:
+                    self.stats.add("pb_full_stalls")
+                    done = max(done, accept)
+                open_blocks[block] = drained
+                if len(open_blocks) > 1024:
+                    self._open_blocks[core_id] = {
+                        b: d for b, d in open_blocks.items() if d > now}
+                self.bloom.insert(block)
+                env = self.system.env
+                remove_at = max(drained, env.now)
+                env.call_at(remove_at,
+                            lambda b=block: self.bloom.remove(b))
+            if drained < self._fifo_drain[core_id]:
+                drained = self._fifo_drain[core_id]
+            self._fifo_drain[core_id] = drained
+            self._log.persist_at(addr, value, drained)
+            self.stats.add("pm_stores")
+        return done
+
+    # -------------------------------------------------------------- fences
+
+    def ofence(self, core_id: int, now: int) -> int:
+        """Epoch boundary: asynchronous, one cycle to issue (§8.1)."""
+        self.stats.add("ofences")
+        return now + 1
+
+    def dfence(self, core_id: int, now: int) -> int:
+        """Durability fence: drain this core's persist buffer."""
+        core = self.system.cores[core_id]
+        done = max(now, self._buffers[core_id].drain_complete_time(now),
+                   self._fifo_drain[core_id],
+                   core.store_queue.drain_complete_time(now))
+        self.stats.add("dfences")
+        self.stats.add("dfence_stall_cycles", done - now)
+        return done
+
+    def quiesce_time(self, now: int) -> int:
+        horizon = max([now] + list(self._fifo_drain))
+        for buffer in self._buffers:
+            horizon = max(horizon, buffer.drain_complete_time(now))
+        return horizon

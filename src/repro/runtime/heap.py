@@ -1,0 +1,97 @@
+"""Persistent-heap layout and allocation.
+
+A single address space is shared by all workloads:
+
+* ``DATA_BASE`` -- persistent application data (bump-allocated),
+* ``LOG_BASE`` -- per-thread undo-log regions (fixed stride), laid out so
+  a recovery scan can find every thread's log without metadata.
+
+Addresses are plain integers on an 8-byte word grid; the cache-block
+grid is 64 bytes (:data:`repro.isa.CACHE_BLOCK_BYTES`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+DATA_BASE = 0x1000_0000
+LOG_BASE = 0x4000_0000
+# Per-thread log stride: ~1 MiB plus one page of stagger.  The stagger is
+# load-bearing: a stride that is an exact multiple of the LLC's set span
+# (16384 sets x 64 B = 1 MiB for Table 3's LLC) maps every thread's log
+# blocks onto the SAME cache sets, and past 16 threads (the LLC's
+# associativity) the logs thrash -- which, on writeback-dropping designs,
+# floods the speculation buffer with eviction entries and collapses
+# multi-core throughput (found by the 32-core Figure 10 sweep).
+LOG_REGION_BYTES = (1 << 20) + 4096
+WORD_BYTES = 8
+
+
+class AllocationError(MemoryError):
+    """The bump allocator ran past its region."""
+
+
+class PersistentHeap:
+    """Bump allocator for persistent application data.
+
+    Allocations can be labelled; :meth:`region` returns the labelled
+    ranges so tests and crash validators can reason about layout.
+    """
+
+    def __init__(self, base: int = DATA_BASE,
+                 limit: int = LOG_BASE):
+        self.base = base
+        self.limit = limit
+        self._next = base
+        self._regions: Dict[str, List[int]] = {}
+
+    def alloc(self, nbytes: int, label: str = "", align: int = WORD_BYTES) -> int:
+        """Allocate ``nbytes``; returns the base address."""
+        if nbytes <= 0:
+            raise AllocationError(f"bad allocation size {nbytes}")
+        if align & (align - 1):
+            raise AllocationError(f"alignment {align} not a power of two")
+        start = (self._next + align - 1) & ~(align - 1)
+        end = start + nbytes
+        if end > self.limit:
+            raise AllocationError(
+                f"persistent heap exhausted ({end - self.base} bytes)")
+        self._next = end
+        if label:
+            self._regions.setdefault(label, []).append(start)
+        return start
+
+    def alloc_words(self, n_words: int, label: str = "") -> int:
+        return self.alloc(n_words * WORD_BYTES, label=label)
+
+    def alloc_block(self, label: str = "") -> int:
+        """One cache-block-aligned 64-byte allocation (the paper's
+        microbenchmark FASEs update 64 B of data)."""
+        return self.alloc(64, label=label, align=64)
+
+    def region(self, label: str) -> List[int]:
+        return list(self._regions.get(label, []))
+
+    @property
+    def used_bytes(self) -> int:
+        return self._next - self.base
+
+    def in_data_region(self, addr: int) -> bool:
+        return self.base <= addr < self._next
+
+
+def log_region_base(thread_id: int) -> int:
+    """Base address of thread ``thread_id``'s undo-log region."""
+    if thread_id < 0:
+        raise ValueError("negative thread id")
+    return LOG_BASE + thread_id * LOG_REGION_BYTES
+
+
+def is_log_address(addr: int) -> bool:
+    return addr >= LOG_BASE
+
+
+def thread_of_log_address(addr: int) -> int:
+    if not is_log_address(addr):
+        raise ValueError(f"0x{addr:x} is not a log address")
+    return (addr - LOG_BASE) // LOG_REGION_BYTES

@@ -1,0 +1,82 @@
+"""Redo logging: the alternative write-ahead protocol (cf. Mnemosyne's
+raw-word log, DudeTM's decoupled redo [31]).
+
+Where undo logging persists *old* values before updating data in place,
+redo logging keeps uncommitted data out of PM entirely:
+
+1. during the FASE, every write appends a redo entry ``[new_value,
+   stamped_target]`` to the log; the in-place update stays *volatile*
+   (cache-only -- legal exactly on the designs that drop LLC dirty
+   writebacks: PMEM-Spec, HOPS, StrandWeaver);
+2. at commit, the **commit word** is set to the epoch (the log is now
+   complete), the in-place data writes are replayed persistently, and
+   the epoch word is bumped (the log is consumed);
+3. recovery: ``commit == epoch`` means the FASE committed but its
+   replay may be partial -- replay every stamped entry forward (replay
+   is idempotent) and bump the epoch.  Any other state means the FASE
+   never committed, and since in-place data never persisted early,
+   there is nothing to roll back.
+
+Under a FIFO persistence channel (PMEM-Spec's persist path, HOPS'
+persist buffer, a StrandWeaver strand) every step above is already
+ordered, so the whole FASE needs **no intra-FASE ordering points at
+all** -- only the final durability barrier.  That is the undo-vs-redo
+ablation `bench_ablations` measures.
+
+Layout: shares :class:`~repro.runtime.undo_log.UndoLogLayout` geometry;
+the commit word is the second word of the header block (the epoch word
+is the first).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .undo_log import UndoLogLayout, unpack_stamp
+
+COMMIT_WORD_OFFSET = 8
+
+
+def commit_word_addr(thread_id: int) -> int:
+    return UndoLogLayout(thread_id).epoch_addr + COMMIT_WORD_OFFSET
+
+
+def recover_redo(image: Dict[int, int],
+                 thread_id: int) -> List[Tuple[int, int]]:
+    """Redo recovery for one thread, in place; returns applied writes.
+
+    Replay fires only in the ``commit == epoch`` window (log complete,
+    epoch not yet consumed); it applies entries *forward* so the last
+    write to an address wins, then consumes the log by bumping the
+    epoch.
+    """
+    layout = UndoLogLayout(thread_id)
+    epoch = image.get(layout.epoch_addr, 0)
+    commit = image.get(commit_word_addr(thread_id), -1)
+    if epoch < 0:
+        raise ValueError(
+            f"corrupt redo-log epoch for thread {thread_id}: {epoch}")
+    if commit != epoch:
+        return []
+    applied: List[Tuple[int, int]] = []
+    for index in range(layout.max_entries):
+        stamped = image.get(layout.entry_target_addr(index))
+        if stamped is None:
+            break
+        entry_epoch, target = unpack_stamp(stamped)
+        if entry_epoch != epoch:
+            break
+        if target >= layout.base:
+            raise ValueError(
+                f"redo-log entry {index} of thread {thread_id} targets "
+                f"the log region itself (0x{target:x})")
+        value = image.get(layout.entry_old_addr(index), 0)
+        image[target] = value
+        applied.append((target, value))
+    image[layout.epoch_addr] = epoch + 1
+    return applied
+
+
+def recover_redo_all(image: Dict[int, int],
+                     n_threads: int) -> Dict[int, List[Tuple[int, int]]]:
+    return {tid: recover_redo(image, tid) for tid in range(n_threads)}

@@ -1,0 +1,38 @@
+"""Discrete-event simulation kernel (events, processes, resources, stats)."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupted,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import (
+    CapacityQueue,
+    Mutex,
+    OccupancyQueue,
+    TimelineResource,
+)
+from .stats import Counter, Histogram, RunningStat, geomean
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CapacityQueue",
+    "Counter",
+    "Environment",
+    "Event",
+    "Histogram",
+    "Interrupted",
+    "Mutex",
+    "OccupancyQueue",
+    "Process",
+    "RunningStat",
+    "SimulationError",
+    "Timeout",
+    "TimelineResource",
+    "geomean",
+]

@@ -1,0 +1,245 @@
+"""Process-based discrete-event simulation kernel.
+
+This is the substrate every timing model in the reproduction runs on.  It
+is a deliberately small re-implementation of the SimPy programming model:
+
+* an :class:`Environment` owns simulated time and a pending-event heap,
+* a :class:`Process` wraps a Python generator; each value the generator
+  yields is an :class:`Event` the process waits on,
+* :meth:`Environment.timeout` produces delay events, :meth:`Environment.event`
+  produces manually-triggered ones, and :class:`AllOf` joins several.
+
+Simulated time is a plain integer.  Throughout the repository one time
+unit is one CPU cycle at 2 GHz (0.5 ns) -- see
+:class:`repro.harness.configs.SystemConfig`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double trigger, running a dead env...)."""
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* with an optional value; all registered
+    callbacks then run at the trigger time.  Triggering twice is an error
+    -- use a fresh event per occurrence.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_triggered", "_scheduled")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._triggered = False
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now (schedules callbacks at the current time)."""
+        if self._triggered or self._scheduled:
+            raise SimulationError("event triggered twice")
+        self._value = value
+        self._scheduled = True
+        self.env._schedule(self, 0)
+        return self
+
+    def _fire(self) -> None:
+        self._triggered = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event fires (immediately if fired)."""
+        if self._triggered:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: int):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._scheduled = True
+        env._schedule(self, delay)
+
+
+class AllOf(Event):
+    """Fires once every child event has fired; value is the list of values."""
+
+    __slots__ = ("_pending", "_children")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, _event: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not (self._triggered or self._scheduled):
+            self.succeed([child.value for child in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is that child's value."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        children = list(events)
+        if not children:
+            raise SimulationError("AnyOf needs at least one event")
+        for child in children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if not (self._triggered or self._scheduled):
+            self.succeed(event.value)
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running generator; the Process is itself an event that fires when
+    the generator returns (value = the generator's return value)."""
+
+    __slots__ = ("_generator", "name")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: str = ""):
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off on the next scheduling round at the current time.
+        start = Event(env)
+        start.add_callback(self._resume)
+        start.succeed()
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self._generator.send(event.value)
+        except StopIteration as stop:
+            if not (self._triggered or self._scheduled):
+                self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, not an Event")
+        target.add_callback(self._resume)
+
+    def interrupt(self, reason: Any = None) -> None:
+        """Throw :class:`Interrupted` into the generator at the current time."""
+        def deliver(_event: Event) -> None:
+            try:
+                target = self._generator.throw(Interrupted(reason))
+            except StopIteration as stop:
+                if not (self._triggered or self._scheduled):
+                    self.succeed(stop.value)
+                return
+            target.add_callback(self._resume)
+        kick = Event(self.env)
+        kick.add_callback(deliver)
+        kick.succeed()
+
+
+class Interrupted(Exception):
+    """Delivered into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, reason: Any = None):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class Environment:
+    """Owns the clock and the event heap and drives the simulation."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List = []
+        self._sequence = 0
+
+    def _schedule(self, event: Event, delay: int) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int) -> Timeout:
+        return Timeout(self, int(delay))
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def call_at(self, when: int, callback: Callable[[], None]) -> None:
+        """Run a bare callback at absolute time ``when`` (>= now)."""
+        if when < self.now:
+            raise SimulationError(f"call_at into the past: {when} < {self.now}")
+        marker = Event(self)
+        marker.add_callback(lambda _e: callback())
+        self._schedule(marker, when - self.now)
+
+    def peek(self) -> Optional[int]:
+        """Time of the next pending event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> None:
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("event scheduled in the past")
+        self.now = when
+        event._fire()
+
+    def run(self, until: Optional[int] = None,
+            stop_event: Optional[Event] = None) -> int:
+        """Drain the event heap.
+
+        Stops when the heap empties, when simulated time would pass
+        ``until``, or as soon as ``stop_event`` has fired.  Returns the
+        final simulated time.
+        """
+        while self._heap:
+            if stop_event is not None and stop_event.triggered:
+                break
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                break
+            self.step()
+        return self.now

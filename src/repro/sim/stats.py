@@ -1,0 +1,114 @@
+"""Lightweight statistics containers shared by all simulator components."""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List
+
+
+class Counter:
+    """A named bag of integer counters with dict-like access."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._values[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def merge(self, other: "Counter") -> None:
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Counter({inner})"
+
+
+class RunningStat:
+    """Streaming mean/variance/min/max (Welford)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class Histogram:
+    """Fixed-bucket histogram for latency distributions."""
+
+    def __init__(self, bucket_width: int, max_buckets: int = 64):
+        if bucket_width < 1:
+            raise ValueError("bucket_width must be >= 1")
+        self.bucket_width = bucket_width
+        self.max_buckets = max_buckets
+        self.buckets: List[int] = [0] * max_buckets
+        self.overflow = 0
+        self.stat = RunningStat()
+
+    def record(self, value: float) -> None:
+        self.stat.record(value)
+        index = int(value // self.bucket_width)
+        if index >= self.max_buckets:
+            self.overflow += 1
+        else:
+            self.buckets[index] += 1
+
+    @property
+    def count(self) -> int:
+        return self.stat.count
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile from bucket midpoints."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = fraction * self.count
+        seen = 0
+        for index, population in enumerate(self.buckets):
+            seen += population
+            if seen >= target:
+                return (index + 0.5) * self.bucket_width
+        return self.stat.maximum
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper reports geomean throughput in Figure 12."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,250 @@
+"""Full-system assembly: one simulated machine running one workload
+under one persistency design.
+
+Build order matters: the design is bound before the PMC policy is
+created (PMEM-Spec's policy captures the speculation buffer), and the
+hierarchy is created after the design so it can pick up bus extras
+(HOPS' sticky bit).  :meth:`System.run` executes every core's thread to
+completion -- or to a crash point, for the crash-injection tests -- and
+returns a :class:`SimResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .compiler import LoweredProgram, lower_program
+from .config import SystemConfig
+from .core.events import MisspeculationEvent
+from .core.spec_buffer import SpeculationBuffer, StallController
+from .core.spec_id import SpecIdFile
+from .cpu.core import Core
+from .isa import Program
+from .mem import (
+    CacheHierarchy,
+    LockNetwork,
+    MemoryImage,
+    PMController,
+    PMDevice,
+    PersistPath,
+)
+from .oslayer import InterruptController, SimProcess
+from .persistency.base import Design
+from .runtime import (
+    LOG_BASE,
+    LOG_REGION_BYTES,
+    DATA_BASE,
+    FailureAtomicRuntime,
+)
+from .sim import Environment
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    design: str
+    workload: str
+    n_cores: int
+    cycles: int
+    fases_committed: int
+    fases_aborted: int
+    load_misspeculations: int
+    store_misspeculations: int
+    stale_loads: int
+    spec_buffer_overflows: int
+    freq_ghz: float
+    stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.freq_ghz * 1e9)
+
+    @property
+    def throughput(self) -> float:
+        """Committed FASEs (transactions) per second -- the paper's
+        normalised metric."""
+        if self.cycles == 0:
+            return 0.0
+        return self.fases_committed / self.seconds
+
+    @property
+    def misspeculations(self) -> int:
+        return self.load_misspeculations + self.store_misspeculations
+
+    def to_dict(self) -> Dict:
+        """JSON-ready summary (used by the harness' artifact export)."""
+        return {
+            "design": self.design,
+            "workload": self.workload,
+            "n_cores": self.n_cores,
+            "cycles": self.cycles,
+            "seconds": self.seconds,
+            "fases_committed": self.fases_committed,
+            "fases_aborted": self.fases_aborted,
+            "throughput": self.throughput,
+            "load_misspeculations": self.load_misspeculations,
+            "store_misspeculations": self.store_misspeculations,
+            "stale_loads": self.stale_loads,
+            "spec_buffer_overflows": self.spec_buffer_overflows,
+            "stats": self.stats,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        import json
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def __repr__(self) -> str:
+        return (f"SimResult({self.design} on {self.workload}: "
+                f"{self.fases_committed} FASEs in {self.cycles} cycles, "
+                f"{self.throughput:.3e} FASEs/s)")
+
+
+class System:
+    """One machine + design + lowered workload, ready to simulate."""
+
+    def __init__(self, config: SystemConfig, design: Design,
+                 lowered: LoweredProgram,
+                 recovery_mode: str = "lazy",
+                 record_history: bool = False):
+        if design.flavor != lowered.flavor:
+            raise ValueError(
+                f"design {design.name} executes flavor {design.flavor!r} "
+                f"but the program was lowered for {lowered.flavor!r}")
+        program = lowered.program
+        if program.n_threads != config.n_cores:
+            raise ValueError(
+                f"program has {program.n_threads} threads but the machine "
+                f"has {config.n_cores} cores (threads are pinned 1:1)")
+        config.validate()
+        self.config = config
+        self.design = design
+        self.lowered = lowered
+        self.program = program
+
+        self.env = Environment()
+        self.device = PMDevice(program.initial_heap,
+                               record_history=record_history)
+        self.image = MemoryImage(program.initial_heap)
+        self.stall = StallController()
+        # One speculation buffer per PM controller (§5.3, §7); they share
+        # the global stall controller and the interrupt report path.
+        self.spec_buffers = [
+            SpeculationBuffer(
+                config.spec_buffer_entries,
+                config.speculation_window_cycles,
+                stall=self.stall, report=self._report_misspeculation)
+            for _ in range(config.n_pm_controllers)]
+        self.spec_buffer = self.spec_buffers[0]
+        self.spec_ids = SpecIdFile(config.n_cores)
+        self.persist_path = PersistPath(config, config.n_cores)
+        self.lock_network = LockNetwork(config)
+        from .sim import Mutex
+        self.locks = [Mutex(self.env, name=f"lock{i}")
+                      for i in range(program.n_locks)]
+        self.runtime = FailureAtomicRuntime(config.n_cores,
+                                            recovery_mode=recovery_mode)
+
+        design.bind(self)
+        if config.n_pm_controllers == 1:
+            self.pmc = PMController(self.env, config, self.device,
+                                    design.build_pmc_policy(0))
+        else:
+            from .mem.pm_complex import PMCComplex
+            policies = [design.build_pmc_policy(i)
+                        for i in range(config.n_pm_controllers)]
+            self.pmc = PMCComplex(self.env, config, self.device, policies)
+        self.hierarchy = CacheHierarchy(
+            self.env, config, self.pmc, self.image,
+            bus_extra_cycles=design.bus_extra_cycles)
+
+        self.cores: List[Core] = [
+            Core(self, thread.thread_id, thread)
+            for thread in lowered.threads]
+
+        # OS layer: register this "process" so misspeculation interrupts
+        # find their way to the failure-atomic runtime (§6.1).
+        self.interrupts = InterruptController()
+        self.process = SimProcess(pid=1, name=program.name)
+        self.process.map_range(DATA_BASE, LOG_BASE)
+        self.process.map_range(
+            LOG_BASE, LOG_BASE + config.n_cores * LOG_REGION_BYTES)
+        self.interrupts.register_process(
+            self.process,
+            lambda event, now: self.runtime.on_misspeculation(event, now))
+
+    # ---------------------------------------------------------- misspec
+
+    def _report_misspeculation(self, event: MisspeculationEvent) -> None:
+        """Hardware detection -> OS interrupt -> runtime (§6.1)."""
+        self.interrupts.raise_misspeculation(event, self.env.now)
+
+    # --------------------------------------------------------------- run
+
+    def run(self, until: Optional[int] = None) -> SimResult:
+        """Simulate to completion (or to cycle ``until`` -- a crash)."""
+        processes = [self.env.process(core.run(), name=f"core{core.core_id}")
+                     for core in self.cores]
+        all_done = self.env.all_of(processes)
+        self.env.run(until=until, stop_event=all_done)
+        if until is None:
+            # Drain in-flight persistence (scheduled device updates).
+            self.env.run()
+        return self.result()
+
+    def result(self) -> SimResult:
+        committed = self.runtime.total_commits
+        stats = {
+            "design": self.design.stats.as_dict(),
+            "runtime": self.runtime.stats.as_dict(),
+            "pmc": self.pmc.stats.as_dict(),
+            "hierarchy": self.hierarchy.stats.as_dict(),
+            "spec_buffer": self._spec_buffer_stats().as_dict(),
+            "interrupts": self.interrupts.stats.as_dict(),
+        }
+        core_stats = {}
+        for core in self.cores:
+            core_stats[f"core{core.core_id}"] = core.stats.as_dict()
+        stats["cores"] = core_stats
+        return SimResult(
+            design=self.design.name,
+            workload=self.program.name,
+            n_cores=self.config.n_cores,
+            cycles=self.env.now,
+            fases_committed=committed,
+            fases_aborted=self.runtime.total_aborts,
+            load_misspeculations=self._spec_buffer_stats()[
+                "load_misspeculations"],
+            store_misspeculations=self._spec_buffer_stats()[
+                "store_misspeculations"],
+            stale_loads=self.hierarchy.stats["stale_reads"],
+            spec_buffer_overflows=self._spec_buffer_stats()["overflows"],
+            freq_ghz=self.config.freq_ghz,
+            stats=stats,
+        )
+
+    def _spec_buffer_stats(self):
+        from .sim import Counter
+        merged = Counter()
+        for buffer in self.spec_buffers:
+            merged.merge(buffer.stats)
+        return merged
+
+    def persisted_snapshot(self) -> Dict[int, int]:
+        """The PM image that would survive a power failure right now."""
+        return self.device.snapshot()
+
+
+def build_system(program: Program, design: Design,
+                 config: Optional[SystemConfig] = None,
+                 recovery_mode: str = "lazy",
+                 record_history: bool = False,
+                 log_mode: str = "undo") -> System:
+    """Convenience: lower ``program`` for ``design`` and assemble."""
+    from .config import table3_config
+    if config is None:
+        config = table3_config(n_cores=program.n_threads)
+    lowered = lower_program(program, design.flavor, log_mode=log_mode)
+    return System(config, design, lowered, recovery_mode=recovery_mode,
+                  record_history=record_history)

@@ -1,0 +1,79 @@
+"""Workload inspector CLI.
+
+Usage::
+
+    python -m repro.workloads                 # list benchmarks
+    python -m repro.workloads tpcc            # profile + one FASE's IR
+    python -m repro.workloads tpcc --flavor pmemspec   # lowered dump
+    python -m repro.workloads tpcc --flavor x86 --fase 2
+
+Shows what a benchmark's FASEs actually look like: the abstract-IR op
+profile, and (with ``--flavor``) the disassembled machine code the
+compiler emits for a chosen design.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..compiler import fase_profile, lower_fase
+from ..isa import disassemble_fase
+from . import BENCHMARKS, workload_by_name
+
+
+def list_benchmarks() -> None:
+    print("Table 4 benchmarks:")
+    for name, cls in BENCHMARKS.items():
+        kind = "locks" if cls.uses_locks else "transactions"
+        print(f"  {name:<12} {cls.description}  [{kind}]")
+
+
+def inspect(name: str, flavor: str, fase_index: int, threads: int,
+            seed: int) -> None:
+    workload = workload_by_name(name, seed=seed)
+    program = workload.build(threads, max(fase_index + 1, 5))
+    fases = program.threads[0].fases
+    fase = fases[min(fase_index, len(fases) - 1)]
+
+    print(f"{name}: {program.n_threads} threads x "
+          f"{len(fases)} FASEs, {program.n_locks} locks, "
+          f"{len(program.initial_heap)} initialised words")
+    total_ops = sum(len(f) for t in program.threads for f in t.fases)
+    print(f"average ops/FASE: {total_ops / program.total_fases:.1f}")
+    print()
+    profile = fase_profile(fase)
+    print(f"FASE {fase.fase_id} ({fase.label}): {profile}")
+    print()
+    if flavor:
+        lowered = lower_fase(fase, 0, flavor, epoch=fase_index)
+        print(disassemble_fase(lowered))
+    else:
+        for op in fase.ops:
+            print(f"  {op!r}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Inspect the Table 4 benchmark generators.")
+    parser.add_argument("benchmark", nargs="?",
+                        choices=sorted(BENCHMARKS))
+    parser.add_argument("--flavor", default=None,
+                        choices=("x86", "hops", "strand", "pmemspec"),
+                        help="disassemble the lowering for this design")
+    parser.add_argument("--fase", type=int, default=0,
+                        help="which of thread 0's FASEs to show")
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+    if args.benchmark is None:
+        list_benchmarks()
+        return 0
+    inspect(args.benchmark, args.flavor, args.fase, args.threads,
+            args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

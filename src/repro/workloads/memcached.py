@@ -1,0 +1,99 @@
+"""Memcached (Table 4): in-memory key-value store under Mnemosyne [14, 45].
+
+GET/SET over a striped-lock hash table whose values are 1024 B (the
+paper's Memcached data size) -- a SET rewrites all 128 value words plus
+metadata inside one FASE, producing the largest write sets of any
+benchmark; a GET streams the 128 words through the cache hierarchy.
+
+Like Vacation, this runs under Mnemosyne durable *transactions* (the
+paper evaluates Memcached "in Mnemosyne"), so FASEs carry no locks and
+PMEM-Spec stores are untagged; keys are partitioned per thread so the
+fixed trace is interleaving-safe (DESIGN.md).  The lock-based
+store-misspeculation machinery is exercised by the hashmap benchmark
+and the synthetic probes instead.
+
+Value encoding: on generation ``g``, word ``i`` of a value holds
+``g * 256 + i``; the entry's metadata word holds ``g``.  Crash
+invariant: all 128 words carry the metadata generation -- any torn SET
+that recovery failed to undo shows up as a generation mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import TraceRecorder, Workload
+
+VALUE_WORDS = 128          # 1024 bytes
+ENTRY_WORDS = VALUE_WORDS + 8
+
+
+class Memcached(Workload):
+    name = "memcached"
+    description = "In-memory key-value store (Mnemosyne)"
+    default_fases = 30
+
+    uses_locks = False
+
+    def __init__(self, seed: int = 42, keys_per_thread: int = 32,
+                 set_fraction: float = 0.4):
+        super().__init__(seed)
+        self.keys_per_thread = keys_per_thread
+        self.set_fraction = set_fraction
+        self._generation = 0
+
+    def setup(self, n_threads: int) -> None:
+        self.n_keys = self.keys_per_thread * n_threads
+        self.entries: List[int] = []
+        for key in range(self.n_keys):
+            entry = self.heap.alloc(ENTRY_WORDS * 8, align=64,
+                                    label="entry")
+            self.entries.append(entry)
+            self.init_word(self._meta_addr(key), 0)
+            for i in range(VALUE_WORDS):
+                self.init_word(self._value_addr(key, i), i)  # gen 0
+
+    def _meta_addr(self, key: int) -> int:
+        return self.entries[key]
+
+    def _value_addr(self, key: int, index: int) -> int:
+        return self.entries[key] + (8 + index) * 8
+
+    def generate_fase(self, recorder: TraceRecorder, thread_id: int) -> str:
+        # Keys partitioned per thread (trace coherence, DESIGN.md).
+        key = (thread_id * self.keys_per_thread
+               + self.rng.randrange(self.keys_per_thread))
+        if self.rng.random() < self.set_fraction:
+            self._generation += 1
+            gen = self._generation
+            recorder.read(self._meta_addr(key))
+            recorder.compute(20)                    # hash + serialise
+            for i in range(VALUE_WORDS):
+                recorder.write(self._value_addr(key, i), gen * 256 + i)
+            recorder.write(self._meta_addr(key), gen)
+            return f"set:{key}@{gen}"
+        recorder.read(self._meta_addr(key))
+        for i in range(0, VALUE_WORDS, 8):          # one read per block
+            recorder.read(self._value_addr(key, i))
+        recorder.compute(12)
+        return f"get:{key}"
+
+    def n_locks(self) -> int:
+        return 0
+
+    def think_cycles(self) -> int:
+        return 300
+
+    def validate_recovered(self, image: Dict[int, int]) -> List[str]:
+        violations = []
+        for key in range(self.n_keys):
+            gen = image.get(self._meta_addr(key), 0)
+            for i in range(VALUE_WORDS):
+                expected = gen * 256 + i
+                actual = image.get(self._value_addr(key, i), i)
+                if actual != expected:
+                    violations.append(
+                        f"key {key} word {i}: generation mismatch "
+                        f"(meta gen {gen}, word holds {actual})")
+                    break
+        return violations

@@ -1,0 +1,419 @@
+"""RB-Tree (Table 4): insert/delete entries in a red-black tree [DPO].
+
+A textbook (CLRS) red-black tree with parent pointers lives in
+persistent memory; every node access during insert, delete, rotation
+and fixup is recorded through the tracer, so FASEs are long (dozens of
+PM reads and 5-20 PM writes) -- the opposite end of the FASE-length
+spectrum from Queue/Hashmap.
+
+Trace-coherence substitution (see DESIGN.md): each thread owns a tree
+(guarded by its own lock) so the fixed trace is valid under any runtime
+interleaving; FASE shape matches the shared-tree microbenchmark.
+
+Node layout (5 words): ``key, color, left, right, parent``; address 0 is
+nil.  The crash validator walks the recovered tree and checks every
+red-black invariant: BST order, no red node with a red child, equal
+black height on all root-to-nil paths, parent-pointer symmetry, and
+acyclicity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .base import TraceRecorder, Workload
+
+RED = 1
+BLACK = 0
+NIL = 0
+
+KEY, COLOR, LEFT, RIGHT, PARENT = range(5)
+NODE_WORDS = 8  # 5 used; padded to a 64-byte block
+
+
+class _TreeView:
+    """Recorder-mediated access to one tree's nodes."""
+
+    def __init__(self, recorder: TraceRecorder, root_addr: int):
+        self.rec = recorder
+        self.root_addr = root_addr
+
+    # Field accessors ------------------------------------------------------
+    def get(self, node: int, fld: int) -> int:
+        return self.rec.read(node + fld * 8)
+
+    def put(self, node: int, fld: int, value: int) -> None:
+        # Trees are per-thread: escape analysis proves these private.
+        self.rec.write(node + fld * 8, value, shared=False)
+
+    def root(self) -> int:
+        return self.rec.read(self.root_addr)
+
+    def set_root(self, node: int) -> None:
+        self.rec.write(self.root_addr, node, shared=False)
+
+    # Rotations ------------------------------------------------------------
+    def rotate_left(self, x: int) -> None:
+        y = self.get(x, RIGHT)
+        yl = self.get(y, LEFT)
+        self.put(x, RIGHT, yl)
+        if yl != NIL:
+            self.put(yl, PARENT, x)
+        xp = self.get(x, PARENT)
+        self.put(y, PARENT, xp)
+        if xp == NIL:
+            self.set_root(y)
+        elif self.get(xp, LEFT) == x:
+            self.put(xp, LEFT, y)
+        else:
+            self.put(xp, RIGHT, y)
+        self.put(y, LEFT, x)
+        self.put(x, PARENT, y)
+
+    def rotate_right(self, x: int) -> None:
+        y = self.get(x, LEFT)
+        yr = self.get(y, RIGHT)
+        self.put(x, LEFT, yr)
+        if yr != NIL:
+            self.put(yr, PARENT, x)
+        xp = self.get(x, PARENT)
+        self.put(y, PARENT, xp)
+        if xp == NIL:
+            self.set_root(y)
+        elif self.get(xp, RIGHT) == x:
+            self.put(xp, RIGHT, y)
+        else:
+            self.put(xp, LEFT, y)
+        self.put(y, RIGHT, x)
+        self.put(x, PARENT, y)
+
+    # Insert ---------------------------------------------------------------
+    def insert(self, node: int, key: int) -> None:
+        parent = NIL
+        cursor = self.root()
+        while cursor != NIL:
+            parent = cursor
+            cursor = self.get(cursor, LEFT) if key < self.get(
+                cursor, KEY) else self.get(cursor, RIGHT)
+        self.put(node, KEY, key)
+        self.put(node, COLOR, RED)
+        self.put(node, LEFT, NIL)
+        self.put(node, RIGHT, NIL)
+        self.put(node, PARENT, parent)
+        if parent == NIL:
+            self.set_root(node)
+        elif key < self.get(parent, KEY):
+            self.put(parent, LEFT, node)
+        else:
+            self.put(parent, RIGHT, node)
+        self._insert_fixup(node)
+
+    def _insert_fixup(self, z: int) -> None:
+        while True:
+            zp = self.get(z, PARENT)
+            if zp == NIL or self.get(zp, COLOR) != RED:
+                break
+            zpp = self.get(zp, PARENT)
+            if zpp == NIL:
+                break
+            if zp == self.get(zpp, LEFT):
+                uncle = self.get(zpp, RIGHT)
+                if uncle != NIL and self.get(uncle, COLOR) == RED:
+                    self.put(zp, COLOR, BLACK)
+                    self.put(uncle, COLOR, BLACK)
+                    self.put(zpp, COLOR, RED)
+                    z = zpp
+                else:
+                    if z == self.get(zp, RIGHT):
+                        z = zp
+                        self.rotate_left(z)
+                        zp = self.get(z, PARENT)
+                        zpp = self.get(zp, PARENT)
+                    self.put(zp, COLOR, BLACK)
+                    self.put(zpp, COLOR, RED)
+                    self.rotate_right(zpp)
+            else:
+                uncle = self.get(zpp, LEFT)
+                if uncle != NIL and self.get(uncle, COLOR) == RED:
+                    self.put(zp, COLOR, BLACK)
+                    self.put(uncle, COLOR, BLACK)
+                    self.put(zpp, COLOR, RED)
+                    z = zpp
+                else:
+                    if z == self.get(zp, LEFT):
+                        z = zp
+                        self.rotate_right(z)
+                        zp = self.get(z, PARENT)
+                        zpp = self.get(zp, PARENT)
+                    self.put(zp, COLOR, BLACK)
+                    self.put(zpp, COLOR, RED)
+                    self.rotate_left(zpp)
+        root = self.root()
+        if root != NIL and self.get(root, COLOR) != BLACK:
+            self.put(root, COLOR, BLACK)
+
+    # Delete ---------------------------------------------------------------
+    def find(self, key: int) -> int:
+        cursor = self.root()
+        while cursor != NIL:
+            ckey = self.get(cursor, KEY)
+            if key == ckey:
+                return cursor
+            cursor = self.get(cursor, LEFT) if key < ckey else self.get(
+                cursor, RIGHT)
+        return NIL
+
+    def _minimum(self, node: int) -> int:
+        while True:
+            left = self.get(node, LEFT)
+            if left == NIL:
+                return node
+            node = left
+
+    def _transplant(self, u: int, v: int) -> None:
+        up = self.get(u, PARENT)
+        if up == NIL:
+            self.set_root(v)
+        elif u == self.get(up, LEFT):
+            self.put(up, LEFT, v)
+        else:
+            self.put(up, RIGHT, v)
+        if v != NIL:
+            self.put(v, PARENT, up)
+
+    def delete(self, z: int) -> None:
+        y = z
+        y_color = self.get(y, COLOR)
+        zl, zr = self.get(z, LEFT), self.get(z, RIGHT)
+        if zl == NIL:
+            x, xp = zr, self.get(z, PARENT)
+            self._transplant(z, zr)
+        elif zr == NIL:
+            x, xp = zl, self.get(z, PARENT)
+            self._transplant(z, zl)
+        else:
+            y = self._minimum(zr)
+            y_color = self.get(y, COLOR)
+            x = self.get(y, RIGHT)
+            if self.get(y, PARENT) == z:
+                xp = y
+            else:
+                xp = self.get(y, PARENT)
+                self._transplant(y, x)
+                self.put(y, RIGHT, zr)
+                self.put(zr, PARENT, y)
+            self._transplant(z, y)
+            zl = self.get(z, LEFT)
+            self.put(y, LEFT, zl)
+            self.put(zl, PARENT, y)
+            self.put(y, COLOR, self.get(z, COLOR))
+        if y_color == BLACK:
+            self._delete_fixup(x, xp)
+
+    def _delete_fixup(self, x: int, xp: int) -> None:
+        while x != self.root() and (
+                x == NIL or self.get(x, COLOR) == BLACK):
+            if xp == NIL:
+                break
+            if x == self.get(xp, LEFT):
+                w = self.get(xp, RIGHT)
+                if w != NIL and self.get(w, COLOR) == RED:
+                    self.put(w, COLOR, BLACK)
+                    self.put(xp, COLOR, RED)
+                    self.rotate_left(xp)
+                    w = self.get(xp, RIGHT)
+                if w == NIL:
+                    x, xp = xp, self.get(xp, PARENT)
+                    continue
+                wl, wr = self.get(w, LEFT), self.get(w, RIGHT)
+                wl_black = wl == NIL or self.get(wl, COLOR) == BLACK
+                wr_black = wr == NIL or self.get(wr, COLOR) == BLACK
+                if wl_black and wr_black:
+                    self.put(w, COLOR, RED)
+                    x, xp = xp, self.get(xp, PARENT)
+                else:
+                    if wr_black:
+                        if wl != NIL:
+                            self.put(wl, COLOR, BLACK)
+                        self.put(w, COLOR, RED)
+                        self.rotate_right(w)
+                        w = self.get(xp, RIGHT)
+                        wr = self.get(w, RIGHT)
+                    self.put(w, COLOR, self.get(xp, COLOR))
+                    self.put(xp, COLOR, BLACK)
+                    if wr != NIL:
+                        self.put(wr, COLOR, BLACK)
+                    self.rotate_left(xp)
+                    x = self.root()
+                    xp = NIL
+            else:
+                w = self.get(xp, LEFT)
+                if w != NIL and self.get(w, COLOR) == RED:
+                    self.put(w, COLOR, BLACK)
+                    self.put(xp, COLOR, RED)
+                    self.rotate_right(xp)
+                    w = self.get(xp, LEFT)
+                if w == NIL:
+                    x, xp = xp, self.get(xp, PARENT)
+                    continue
+                wl, wr = self.get(w, LEFT), self.get(w, RIGHT)
+                wl_black = wl == NIL or self.get(wl, COLOR) == BLACK
+                wr_black = wr == NIL or self.get(wr, COLOR) == BLACK
+                if wl_black and wr_black:
+                    self.put(w, COLOR, RED)
+                    x, xp = xp, self.get(xp, PARENT)
+                else:
+                    if wl_black:
+                        if wr != NIL:
+                            self.put(wr, COLOR, BLACK)
+                        self.put(w, COLOR, RED)
+                        self.rotate_left(w)
+                        w = self.get(xp, LEFT)
+                        wl = self.get(w, LEFT)
+                    self.put(w, COLOR, self.get(xp, COLOR))
+                    self.put(xp, COLOR, BLACK)
+                    if wl != NIL:
+                        self.put(wl, COLOR, BLACK)
+                    self.rotate_right(xp)
+                    x = self.root()
+                    xp = NIL
+        if x != NIL and self.get(x, COLOR) != BLACK:
+            self.put(x, COLOR, BLACK)
+
+
+class _SilentRecorder:
+    """A recorder that mutates the image without recording ops (init)."""
+
+    def __init__(self, image):
+        self.image = image
+
+    def read(self, addr):
+        return self.image.get(addr, 0)
+
+    def write(self, addr, value, shared=True):
+        self.image[addr] = value
+
+
+class RBTree(Workload):
+    name = "rbtree"
+    description = "Insert/delete entries in a Red-Black tree"
+    default_fases = 40
+
+    def __init__(self, seed: int = 42, initial_keys: int = 128,
+                 key_space: int = 4096, pool_size: int = 512):
+        super().__init__(seed)
+        self.initial_keys = initial_keys
+        self.key_space = key_space
+        self.pool_size = pool_size
+
+    def setup(self, n_threads: int) -> None:
+        self.roots: List[int] = []
+        self.pools: List[List[int]] = []
+        self.live_keys: List[Dict[int, int]] = []  # key -> node addr
+        for tid in range(n_threads):
+            root_addr = self.alloc_words(8, label=f"root{tid}")
+            self.init_word(root_addr, NIL)
+            pool = [self.heap.alloc(NODE_WORDS * 8, align=64,
+                                    label=f"nodes{tid}")
+                    for _ in range(self.pool_size)]
+            self.roots.append(root_addr)
+            self.pools.append(list(reversed(pool)))
+            self.live_keys.append({})
+            # Initial population (init phase, not traced).
+            view = _TreeView(_SilentRecorder(self.image), root_addr)
+            count = 0
+            while count < self.initial_keys:
+                key = self.rng.randrange(self.key_space)
+                if key in self.live_keys[tid]:
+                    continue
+                node = self.pools[tid].pop()
+                view.insert(node, key)
+                self.live_keys[tid][key] = node
+                count += 1
+
+    def generate_fase(self, recorder: TraceRecorder, thread_id: int) -> str:
+        view = _TreeView(recorder, self.roots[thread_id])
+        live = self.live_keys[thread_id]
+        pool = self.pools[thread_id]
+        do_insert = (self.rng.random() < 0.5 and pool) or not live
+        recorder.lock(thread_id)
+        if do_insert:
+            key = self.rng.randrange(self.key_space)
+            while key in live:
+                key = self.rng.randrange(self.key_space)
+            node = pool.pop()
+            recorder.compute(12)
+            view.insert(node, key)
+            live[key] = node
+            label = f"insert:{key}"
+        else:
+            key = self.rng.choice(sorted(live))
+            node = view.find(key)
+            recorder.compute(12)
+            view.delete(node)
+            pool.append(live.pop(key))
+            label = f"delete:{key}"
+        recorder.unlock(thread_id)
+        return label
+
+    def n_locks(self) -> int:
+        return self.n_threads
+
+    def think_cycles(self) -> int:
+        return 300
+
+    # ------------------------------------------------------------ validate
+
+    def validate_recovered(self, image: Dict[int, int]) -> List[str]:
+        violations = []
+        for tid, root_addr in enumerate(self.roots):
+            violations.extend(self._check_tree(image, tid, root_addr))
+        return violations
+
+    def _check_tree(self, image: Dict[int, int], tid: int,
+                    root_addr: int) -> List[str]:
+        problems: List[str] = []
+        root = image.get(root_addr, NIL)
+        if root == NIL:
+            return problems
+        if image.get(root + COLOR * 8, BLACK) == RED:
+            problems.append(f"tree {tid}: red root")
+        seen: Set[int] = set()
+        black_heights: Set[int] = set()
+
+        def walk(node: int, lo: Optional[int], hi: Optional[int],
+                 black: int) -> None:
+            if node == NIL:
+                black_heights.add(black)
+                return
+            if node in seen:
+                problems.append(f"tree {tid}: cycle at node 0x{node:x}")
+                return
+            seen.add(node)
+            key = image.get(node + KEY * 8, 0)
+            color = image.get(node + COLOR * 8, BLACK)
+            left = image.get(node + LEFT * 8, NIL)
+            right = image.get(node + RIGHT * 8, NIL)
+            if lo is not None and key <= lo:
+                problems.append(f"tree {tid}: BST violation at key {key}")
+            if hi is not None and key >= hi:
+                problems.append(f"tree {tid}: BST violation at key {key}")
+            for child, side in ((left, "left"), (right, "right")):
+                if child != NIL:
+                    if image.get(child + PARENT * 8, NIL) != node:
+                        problems.append(
+                            f"tree {tid}: broken parent pointer under "
+                            f"key {key} ({side})")
+                    if color == RED and image.get(
+                            child + COLOR * 8, BLACK) == RED:
+                        problems.append(
+                            f"tree {tid}: red-red at key {key}")
+            next_black = black + (1 if color == BLACK else 0)
+            walk(left, lo, key, next_black)
+            walk(right, key, hi, next_black)
+
+        walk(root, None, None, 0)
+        if len(black_heights) > 1:
+            problems.append(
+                f"tree {tid}: unequal black heights {sorted(black_heights)}")
+        return problems

@@ -1,0 +1,181 @@
+"""Synthetic misspeculation probes (§8.4).
+
+The paper reports zero misspeculation across all benchmarks and
+describes a hand-written program that *can* trigger PM load
+misspeculation only under an unrealistically slow persist path.  These
+two probes reproduce that study:
+
+* :class:`LoadMisspecProbe` -- the §8.4 recipe: update a block, issue
+  conflicting loads to the same cache sets to push it all the way out of
+  the (deliberately tiny) hierarchy, then reload it from PM before the
+  store's persist-path message lands.  Under
+  :meth:`LoadMisspecProbe.recommended_config` (a ~100x persist path) the
+  WriteBack-Read-Persist pattern fires; at the paper's 20 ns it never
+  does.
+* :class:`StoreMisspecProbe` -- Figure 7's WAW race: two threads update
+  one shared word inside a critical section placed mid-FASE (so the
+  durability barrier does not serialise the persists), with one core's
+  persist path artificially congested.  The slow core's persist arrives
+  after the fast core's later-ID persist: inter-thread persist-order
+  violation, detected by the spec-ID check.
+
+Both probes exist to *exercise the detection and recovery machinery*;
+their throughput is meaningless.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..config import SystemConfig, table3_config
+from .base import TraceRecorder, Workload
+
+
+class LoadMisspecProbe(Workload):
+    """Stale-read generator: store, evict via set conflicts, reload.
+
+    Thread 0 is the *writer*: each round it stores the shared victim
+    block and reads conflicting blocks so the dirty victim is evicted
+    all the way out of the (deliberately tiny) hierarchy -- its LLC
+    writeback starts PMC monitoring.  The other threads are *probers*:
+    they churn the same cache sets and then reload the victim; with a
+    slow persist path the writer's store is still in flight, so the
+    reload fetches stale data from PM and the PMC observes the full
+    ``WriteBack - Read - Persist`` pattern (Figure 6a).
+
+    The prober's FASE is read-only on purpose: an aborted probe retries
+    against the (by then cached) block and commits, so recovery
+    converges.  Keeping the racing store and the racing reload in one
+    FASE instead produces a *recovery livelock* under lazy recovery --
+    every retry re-creates the race against its own in-flight persist --
+    which the misspeculation tests demonstrate separately.
+    """
+
+    name = "load_misspec_probe"
+    description = "Synthetic stale-read (PM load misspeculation) trigger"
+    default_fases = 10
+
+    def __init__(self, seed: int = 42, conflict_loads: int = 8):
+        super().__init__(seed)
+        self.conflict_loads = conflict_loads
+
+    @staticmethod
+    def recommended_config(n_threads: int = 2,
+                           slow_path: bool = True) -> SystemConfig:
+        """Tiny caches (evictions within a handful of accesses) and, when
+        ``slow_path``, a persist path two orders of magnitude slower than
+        the regular path -- the §8.4 'unrealistic' regime."""
+        return table3_config(
+            n_cores=n_threads,
+            l1_size_bytes=64 * 4, l1_ways=4,       # one L1 set
+            l2_size_bytes=64 * 8, l2_ways=8,       # one LLC set
+            persist_path_ns=2500.0 if slow_path else 20.0,
+            spec_buffer_entries=16,
+        )
+
+    def setup(self, n_threads: int) -> None:
+        if n_threads < 2:
+            raise ValueError("the probe needs a writer and a prober")
+        self.victim = self.heap.alloc_block(label="victim")
+        self.init_word(self.victim, 0)
+        self.conflicts: List[List[int]] = []
+        for tid in range(n_threads):
+            blocks = [self.heap.alloc_block(label=f"conflict{tid}")
+                      for _ in range(self.conflict_loads)]
+            for block in blocks:
+                self.init_word(block, 1)
+            self.conflicts.append(blocks)
+        self._round = 0
+
+    def generate_fase(self, recorder: TraceRecorder, thread_id: int) -> str:
+        if thread_id == 0:
+            self._round += 1
+            recorder.write(self.victim, self._round)
+            for block in self.conflicts[0][:4]:
+                recorder.read(block)     # push the victim out of own L1
+            recorder.lock(0)
+            recorder.unlock(0)           # serialise: evictions land
+            return f"write:{self._round}"
+        for block in self.conflicts[thread_id]:
+            recorder.read(block)         # churn the shared LLC set
+        recorder.lock(thread_id)
+        recorder.unlock(thread_id)       # serialise: evictions land
+        recorder.read(self.victim)       # the potentially-stale reload
+        return "probe"
+
+    def n_locks(self) -> int:
+        return self.n_threads
+
+    def think_cycles(self) -> int:
+        # Longer than the speculation window so one round's monitoring
+        # state never bleeds into the next round's write-allocate fetch.
+        return 12_000
+
+    def validate_recovered(self, image: Dict[int, int]) -> List[str]:
+        value = image.get(self.victim, 0)
+        if not 0 <= value <= self._round:
+            return [f"victim: impossible round counter {value}"]
+        return []
+
+
+class StoreMisspecProbe(Workload):
+    """Inter-thread persist-order (WAW) violation generator (Figure 7).
+
+    The critical section sits mid-FASE, so the FASE-end spec-barrier does
+    not serialise the racing persists; this deliberately violates the
+    "barrier before unlock" discipline real runtimes follow, which is
+    exactly what makes the race window real.
+    """
+
+    name = "store_misspec_probe"
+    description = "Synthetic inter-thread persist-order violation trigger"
+    default_fases = 20
+
+    def __init__(self, seed: int = 42):
+        super().__init__(seed)
+
+    @staticmethod
+    def recommended_config(n_threads: int = 2) -> SystemConfig:
+        return table3_config(n_cores=n_threads, spec_buffer_entries=16)
+
+    @staticmethod
+    def slow_core_extra_cycles() -> int:
+        """Extra persist-path latency for core 0: long enough that core
+        0's persist arrives after core 1's later-ID persist, short enough
+        that the reordering still lands inside the speculation window."""
+        return 100
+
+    def setup(self, n_threads: int) -> None:
+        self.shared = self.heap.alloc_block(label="shared")
+        self.init_word(self.shared, 1)
+        self.privates = []
+        for tid in range(n_threads):
+            private = self.heap.alloc_block(label=f"private{tid}")
+            self.init_word(private, 0)
+            self.privates.append(private)
+        self._seq = [0] * n_threads
+
+    def generate_fase(self, recorder: TraceRecorder, thread_id: int) -> str:
+        self._seq[thread_id] += 1
+        value = (thread_id + 1) * 1_000_000 + self._seq[thread_id]
+        # Mid-FASE critical section: lock, racing WAW store, unlock ...
+        recorder.lock(0)
+        recorder.read(self.shared)
+        recorder.write(self.shared, value)
+        recorder.unlock(0)
+        # ... then unrelated tail work before the durability barrier.
+        recorder.compute(30)
+        recorder.write(self.privates[thread_id], self._seq[thread_id])
+        return f"waw:{value}"
+
+    def n_locks(self) -> int:
+        return 1
+
+    def think_cycles(self) -> int:
+        return 10
+
+    def validate_recovered(self, image: Dict[int, int]) -> List[str]:
+        value = image.get(self.shared, 0)
+        if value == 0:
+            return ["shared word lost"]
+        return []

@@ -1,0 +1,95 @@
+"""TATP (Table 4): the update-location transaction [30, 37].
+
+The Telecom Application Transaction Processing benchmark's
+``UPDATE_LOCATION`` transaction: look the subscriber up by id and write
+its VLR location.  Subscribers are range-partitioned across threads (the
+standard TATP partitioning) with a lock per partition; each FASE reads
+the subscriber record and writes one field -- short transactions with a
+little more read work than the hashmap.
+
+Record layout (4 words): ``s_id, bit_x, msc_location, vlr_location``.
+Crash invariant: ``s_id`` fields are immutable and every
+``vlr_location`` must be a value some update actually wrote
+(``LOC_BASE + s_id * LOC_SPACE + seq``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import TraceRecorder, Workload
+
+RECORD_WORDS = 8           # 4 used, padded to a 64-byte block
+LOC_BASE = 7_000_000_000
+LOC_SPACE = 100_000
+
+
+class TATP(Workload):
+    name = "tatp"
+    description = "Update-location transaction in TATP"
+    default_fases = 60
+
+    def __init__(self, seed: int = 42, subscribers_per_thread: int = 512):
+        super().__init__(seed)
+        self.subscribers_per_thread = subscribers_per_thread
+        self._seq = 0
+
+    def setup(self, n_threads: int) -> None:
+        self.tables: List[int] = []
+        total = 0
+        for tid in range(n_threads):
+            base = self.heap.alloc(
+                self.subscribers_per_thread * RECORD_WORDS * 8,
+                align=64, label=f"subscribers{tid}")
+            self.tables.append(base)
+            for row in range(self.subscribers_per_thread):
+                s_id = total + row
+                addr = self._record(tid, row)
+                self.init_word(self.word(addr, 0), s_id + 1)
+                self.init_word(self.word(addr, 1), self.rng.randrange(2))
+                self.init_word(self.word(addr, 2),
+                               LOC_BASE + (s_id + 1) * LOC_SPACE)
+                self.init_word(self.word(addr, 3),
+                               LOC_BASE + (s_id + 1) * LOC_SPACE)
+            total += self.subscribers_per_thread
+
+    def _record(self, thread_id: int, row: int) -> int:
+        return self.tables[thread_id] + row * RECORD_WORDS * 8
+
+    def generate_fase(self, recorder: TraceRecorder, thread_id: int) -> str:
+        row = self.rng.randrange(self.subscribers_per_thread)
+        addr = self._record(thread_id, row)
+        self._seq = (self._seq + 1) % LOC_SPACE
+        recorder.lock(thread_id)
+        s_id = recorder.read(self.word(addr, 0))
+        recorder.read(self.word(addr, 1))          # bit_x predicate
+        recorder.compute(14)                       # index lookup cost
+        recorder.write(self.word(addr, 3),
+                       LOC_BASE + s_id * LOC_SPACE + self._seq,
+                       shared=False)
+        recorder.unlock(thread_id)
+        return f"update_location:{s_id}"
+
+    def n_locks(self) -> int:
+        return self.n_threads
+
+    def think_cycles(self) -> int:
+        return 400
+
+    def validate_recovered(self, image: Dict[int, int]) -> List[str]:
+        violations = []
+        total = 0
+        for tid in range(self.n_threads):
+            for row in range(self.subscribers_per_thread):
+                s_id = total + row + 1
+                addr = self._record(tid, row)
+                if image.get(self.word(addr, 0), 0) != s_id:
+                    violations.append(f"subscriber {s_id}: s_id clobbered")
+                location = image.get(self.word(addr, 3), 0)
+                if not (LOC_BASE + s_id * LOC_SPACE <= location
+                        < LOC_BASE + (s_id + 1) * LOC_SPACE):
+                    violations.append(
+                        f"subscriber {s_id}: foreign vlr_location "
+                        f"{location}")
+            total += self.subscribers_per_thread
+        return violations

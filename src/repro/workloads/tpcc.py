@@ -1,0 +1,146 @@
+"""TPC-C (Table 4): the new-order transaction [4, 30].
+
+One warehouse district per thread (the standard TPC-C partitioning).  A
+new-order FASE, under the district lock:
+
+1. reads the warehouse tax and district record, increments the
+   district's ``next_o_id`` (1 write);
+2. inserts an order record (4 words written);
+3. for 2-5 order lines: reads the item's district stock, decrements the
+   quantity (restocking below the threshold) and writes a packed
+   2-word order-line record.
+
+This is the paper's *long*-FASE OLTP microbenchmark: the most PM writes
+per transaction of the lock-based workloads, spread over several cache
+blocks.
+
+Crash invariants: every order id below the district's ``next_o_id`` has
+a complete, committed order record (o_id stamp matches); stock
+quantities stay within the restock window; order-line counts match
+their order header.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import TraceRecorder, Workload
+
+N_ITEMS = 256
+MAX_ORDERS = 4096
+MAX_LINES = 5
+ORDER_WORDS = 8
+LINE_WORDS = 2    # packed: 4 lines per block
+STOCK_WORDS = 1   # packed: 8 items per block
+STOCK_INIT = 1_000_000
+ORDER_STAMP = 5_000_000
+
+
+class TPCC(Workload):
+    name = "tpcc"
+    description = "New-order transaction in TPCC"
+    default_fases = 40
+
+    def __init__(self, seed: int = 42):
+        super().__init__(seed)
+
+    def setup(self, n_threads: int) -> None:
+        self.warehouse = self.alloc_words(8, label="warehouse")
+        self.init_word(self.warehouse, 7)        # tax rate
+        self.district_next: List[int] = []
+        self.stock_bases: List[int] = []
+        self.order_bases: List[int] = []
+        self.line_bases: List[int] = []
+        for tid in range(n_threads):
+            next_addr = self.alloc_words(8, label=f"district{tid}")
+            self.init_word(next_addr, 0)
+            stock = self.heap.alloc(N_ITEMS * STOCK_WORDS * 8, align=64,
+                                    label=f"stock{tid}")
+            for item in range(N_ITEMS):
+                self.init_word(stock + item * STOCK_WORDS * 8, STOCK_INIT)
+            orders = self.heap.alloc(MAX_ORDERS * ORDER_WORDS * 8,
+                                     align=64, label=f"orders{tid}")
+            lines = self.heap.alloc(
+                MAX_ORDERS * MAX_LINES * LINE_WORDS * 8 // 4, align=64,
+                label=f"lines{tid}")
+            self.district_next.append(next_addr)
+            self.stock_bases.append(stock)
+            self.order_bases.append(orders)
+            self.line_bases.append(lines)
+        self._line_cursor = [0] * n_threads
+
+    def _order_addr(self, tid: int, o_id: int) -> int:
+        return self.order_bases[tid] + (o_id % MAX_ORDERS) * ORDER_WORDS * 8
+
+    def _stock_addr(self, tid: int, item: int) -> int:
+        return self.stock_bases[tid] + item * STOCK_WORDS * 8
+
+    def _line_addr(self, tid: int, index: int) -> int:
+        capacity = MAX_ORDERS * MAX_LINES // 4
+        return self.line_bases[tid] + (index % capacity) * LINE_WORDS * 8
+
+    def generate_fase(self, recorder: TraceRecorder, thread_id: int) -> str:
+        n_lines = self.rng.randint(2, MAX_LINES)
+        recorder.lock(thread_id)
+        recorder.read(self.warehouse)                       # tax
+        o_id = recorder.read(self.district_next[thread_id])
+        recorder.compute(10)
+        recorder.write(self.district_next[thread_id], o_id + 1,
+                       shared=False)
+
+        order = self._order_addr(thread_id, o_id)
+        recorder.write(self.word(order, 0), ORDER_STAMP + o_id,
+                       shared=False)
+        recorder.write(self.word(order, 1), n_lines, shared=False)
+        recorder.write(self.word(order, 2), thread_id + 1, shared=False)
+        recorder.write(self.word(order, 3), 1, shared=False)              # committed flag
+
+        first_line = self._line_cursor[thread_id]
+        for line in range(n_lines):
+            item = self.rng.randrange(N_ITEMS)
+            stock_addr = self._stock_addr(thread_id, item)
+            quantity = self.rng.randint(1, 10)
+            stock = recorder.read(stock_addr)
+            recorder.compute(4)
+            new_stock = stock - quantity
+            if new_stock < 10:
+                new_stock += 91                              # restock rule
+            recorder.write(stock_addr, new_stock, shared=False)
+            line_addr = self._line_addr(thread_id, first_line + line)
+            recorder.write(self.word(line_addr, 0), ORDER_STAMP + o_id,
+                           shared=False)
+            recorder.write(self.word(line_addr, 1),
+                           (item + 1) * 100 + quantity, shared=False)
+        self._line_cursor[thread_id] += n_lines
+        recorder.unlock(thread_id)
+        return f"new_order:{o_id}({n_lines} lines)"
+
+    def n_locks(self) -> int:
+        return self.n_threads
+
+    def think_cycles(self) -> int:
+        return 500
+
+    def validate_recovered(self, image: Dict[int, int]) -> List[str]:
+        violations = []
+        for tid in range(self.n_threads):
+            next_o = image.get(self.district_next[tid], 0)
+            if next_o > MAX_ORDERS:
+                violations.append(f"district {tid}: next_o_id overflow")
+                continue
+            for o_id in range(next_o):
+                order = self._order_addr(tid, o_id)
+                stamp = image.get(self.word(order, 0), 0)
+                committed = image.get(self.word(order, 3), 0)
+                if stamp != ORDER_STAMP + o_id or committed != 1:
+                    violations.append(
+                        f"district {tid}: order {o_id} allocated by "
+                        f"next_o_id but record torn "
+                        f"(stamp={stamp}, committed={committed})")
+            for item in range(N_ITEMS):
+                stock = image.get(self._stock_addr(tid, item), STOCK_INIT)
+                if stock < 10 or stock > STOCK_INIT:
+                    violations.append(
+                        f"district {tid}: stock {item} out of range "
+                        f"({stock})")
+        return violations

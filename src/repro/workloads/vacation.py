@@ -1,0 +1,117 @@
+"""Vacation (Table 4): OLTP travel-reservation system from STAMP, run
+under Mnemosyne-style durable transactions [7, 45].
+
+A reservation transaction is *long and read-heavy*: it scans candidate
+cars/flights/rooms across large tables (most of these queries miss the
+LLC and become PM loads -- the access pattern §8.2.2 says makes HOPS pay
+its bloom-filter tax), picks the cheapest (compute), then writes a
+reservation record and updates the customer row.
+
+Transactions carry no locks (Mnemosyne transactions serialise through
+the STM, and reservations/customers are partitioned per thread so the
+fixed trace stays interleaving-safe -- see DESIGN.md).
+
+Crash invariant: each customer's ``n_reservations`` counter must match
+the number of fully-written reservation records it owns (record stamp +
+price + resource all present), which a torn transaction violates unless
+recovery rolled it back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import TraceRecorder, Workload
+
+TABLE_WORDS = 1 << 21          # 16 MiB per resource table: beyond the LLC
+QUERIES_PER_KIND = 4
+RESERVATION_WORDS = 8
+CUSTOMER_WORDS = 8
+STAMP = 9_000_000
+
+
+class Vacation(Workload):
+    name = "vacation"
+    description = "OLTP travel reservation system (Mnemosyne)"
+    uses_locks = False
+    default_fases = 40
+
+    def __init__(self, seed: int = 42, customers_per_thread: int = 64,
+                 max_reservations: int = 512):
+        super().__init__(seed)
+        self.customers_per_thread = customers_per_thread
+        self.max_reservations = max_reservations
+
+    def setup(self, n_threads: int) -> None:
+        # Three big, sparsely-touched resource tables (cars/flights/rooms):
+        # reads scatter over them, so nearly every query is a PM load.
+        self.tables = [self.alloc_words(TABLE_WORDS, label=kind)
+                       for kind in ("cars", "flights", "rooms")]
+        self.customer_bases: List[int] = []
+        self.reservation_bases: List[int] = []
+        self._cursor = [0] * n_threads
+        for tid in range(n_threads):
+            customers = self.heap.alloc(
+                self.customers_per_thread * CUSTOMER_WORDS * 8, align=64,
+                label=f"customers{tid}")
+            reservations = self.heap.alloc(
+                self.max_reservations * RESERVATION_WORDS * 8, align=64,
+                label=f"reservations{tid}")
+            self.customer_bases.append(customers)
+            self.reservation_bases.append(reservations)
+            for row in range(self.customers_per_thread):
+                addr = customers + row * CUSTOMER_WORDS * 8
+                self.init_word(self.word(addr, 0), tid * 1000 + row + 1)
+                self.init_word(self.word(addr, 1), 0)   # n_reservations
+
+    def _customer(self, tid: int, row: int) -> int:
+        return self.customer_bases[tid] + row * CUSTOMER_WORDS * 8
+
+    def _reservation(self, tid: int, index: int) -> int:
+        return (self.reservation_bases[tid]
+                + (index % self.max_reservations) * RESERVATION_WORDS * 8)
+
+    def generate_fase(self, recorder: TraceRecorder, thread_id: int) -> str:
+        row = self.rng.randrange(self.customers_per_thread)
+        customer = self._customer(thread_id, row)
+        best_price = 0
+        # Query phase: scan random candidates in each resource table.
+        for kind, table in enumerate(self.tables):
+            for _ in range(QUERIES_PER_KIND):
+                slot = self.rng.randrange(TABLE_WORDS)
+                price = recorder.read(self.word(table, slot))
+                recorder.compute(3)
+                best_price = max(best_price, price % 997)
+        recorder.compute(25)   # pick the cheapest / build the itinerary
+        # Update phase.
+        index = self._cursor[thread_id]
+        self._cursor[thread_id] += 1
+        reservation = self._reservation(thread_id, index)
+        count = recorder.read(self.word(customer, 1))
+        recorder.write(self.word(customer, 1), count + 1)
+        recorder.write(self.word(reservation, 0), STAMP + index)
+        recorder.write(self.word(reservation, 1), best_price + 1)
+        recorder.write(self.word(reservation, 2), thread_id * 1000 + row + 1)
+        return f"reserve:{thread_id}/{index}"
+
+    def n_locks(self) -> int:
+        return 0
+
+    def validate_recovered(self, image: Dict[int, int]) -> List[str]:
+        violations = []
+        for tid in range(self.n_threads):
+            total = 0
+            for row in range(self.customers_per_thread):
+                total += image.get(
+                    self.word(self._customer(tid, row), 1), 0)
+            for index in range(total):
+                reservation = self._reservation(tid, index)
+                stamp = image.get(self.word(reservation, 0), 0)
+                price = image.get(self.word(reservation, 1), 0)
+                owner = image.get(self.word(reservation, 2), 0)
+                if stamp != STAMP + index or price == 0 or owner == 0:
+                    violations.append(
+                        f"thread {tid}: reservation {index} counted but "
+                        f"torn (stamp={stamp}, price={price}, "
+                        f"owner={owner})")
+        return violations

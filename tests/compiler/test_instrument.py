@@ -1,0 +1,87 @@
+"""Unit tests for critical-section analysis and annotation counting."""
+
+import pytest
+
+from repro.compiler import analyse_fase, annotation_burden, fase_profile
+from repro.isa import (
+    Compute,
+    Fase,
+    LockAcquire,
+    LockRelease,
+    PRead,
+    PWrite,
+)
+
+
+class TestCriticalSectionAnalysis:
+    def test_no_locks_no_sections(self):
+        info = analyse_fase(Fase(0, [PWrite(0x40, 1)]))
+        assert not info.has_critical_section
+        assert info.protected_writes == set()
+
+    def test_simple_section(self):
+        fase = Fase(0, [LockAcquire(0), PWrite(0x40, 1), LockRelease(0)])
+        info = analyse_fase(fase)
+        assert info.sections == [(0, 2)]
+        assert info.protected_writes == {1}
+        assert info.in_section(1)
+        assert not info.in_section(5)
+
+    def test_nested_locks_single_section(self):
+        fase = Fase(0, [
+            LockAcquire(0), LockAcquire(1), PWrite(0x40, 1),
+            LockRelease(1), PWrite(0x80, 2), LockRelease(0),
+        ])
+        info = analyse_fase(fase)
+        assert info.sections == [(0, 5)]
+        assert info.protected_writes == {2, 4}
+
+    def test_multiple_sections(self):
+        fase = Fase(0, [
+            LockAcquire(0), PWrite(0x40, 1), LockRelease(0),
+            PRead(0x40),
+            LockAcquire(1), PWrite(0x80, 2), LockRelease(1),
+        ])
+        info = analyse_fase(fase)
+        assert len(info.sections) == 2
+        assert info.protected_writes == {1, 5}
+
+    def test_unprotected_write_between_sections(self):
+        fase = Fase(0, [
+            LockAcquire(0), LockRelease(0), PWrite(0x40, 1),
+        ])
+        info = analyse_fase(fase)
+        assert info.protected_writes == set()
+
+
+class TestAnnotationBurden:
+    def fase(self):
+        return Fase(0, [PWrite(0x40, 1), PWrite(0x80, 2)])
+
+    def test_pmemspec_single_annotation(self):
+        burden = annotation_burden(self.fase(), "pmemspec")
+        assert burden["programmer_visible"] == 1
+
+    def test_hops_fences_scale_with_groups_but_no_flushes(self):
+        burden = annotation_burden(self.fase(), "hops")
+        assert burden["fences"] == 4  # 2 log groups + ofence + dfence
+        assert burden["flushes"] == 0
+
+    def test_x86_heaviest(self):
+        x86 = annotation_burden(self.fase(), "x86")["programmer_visible"]
+        hops = annotation_burden(self.fase(), "hops")["programmer_visible"]
+        pmem = annotation_burden(self.fase(), "pmemspec")["programmer_visible"]
+        assert x86 > hops > pmem
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ValueError):
+            annotation_burden(self.fase(), "riscv")
+
+
+class TestFaseProfile:
+    def test_counts(self):
+        fase = Fase(0, [PRead(0x40), PWrite(0x40, 1), PWrite(0x44, 2),
+                        Compute(3)])
+        profile = fase_profile(fase)
+        assert profile == {"preads": 1, "pwrites": 2, "computes": 1,
+                           "locks": 0, "distinct_write_blocks": 1}

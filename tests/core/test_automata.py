@@ -1,0 +1,98 @@
+"""Unit and property tests for the Figure 5 detection automaton."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import automata as fsm
+
+
+class TestTransitions:
+    def test_initial_ignores_reads_and_persists(self):
+        assert fsm.step(fsm.INITIAL, fsm.READ)[0] == fsm.INITIAL
+        assert fsm.step(fsm.INITIAL, fsm.PERSIST)[0] == fsm.INITIAL
+
+    def test_writeback_starts_monitoring(self):
+        state, action = fsm.step(fsm.INITIAL, fsm.WRITEBACK)
+        assert state == fsm.EVICT
+        assert action == fsm.RESTART_WINDOW
+
+    def test_read_of_monitored_block_speculates(self):
+        assert fsm.step(fsm.EVICT, fsm.READ)[0] == fsm.SPECULATED
+
+    def test_persist_after_speculated_read_is_misspeculation(self):
+        assert fsm.step(fsm.SPECULATED, fsm.PERSIST)[0] == fsm.MISSPECULATION
+
+    def test_persist_before_read_ends_monitoring(self):
+        state, action = fsm.step(fsm.EVICT, fsm.PERSIST)
+        assert state == fsm.INITIAL
+        assert action == fsm.DEALLOCATE
+
+    def test_window_expiry_deallocates(self):
+        for state in (fsm.EVICT, fsm.SPECULATED):
+            next_state, action = fsm.step(state, fsm.EXPIRE)
+            assert next_state == fsm.INITIAL
+            assert action == fsm.DEALLOCATE
+
+    def test_repeated_writebacks_restart_window(self):
+        state, action = fsm.step(fsm.EVICT, fsm.WRITEBACK)
+        assert state == fsm.EVICT
+        assert action == fsm.RESTART_WINDOW
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            fsm.step("Bogus", fsm.READ)
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(ValueError):
+            fsm.step(fsm.INITIAL, "Bogus")
+
+
+class TestPatterns:
+    def test_figure6a_stale_read_detected(self):
+        """WriteBack - Read - Persist: the paper's misspeculation pattern."""
+        assert fsm.detects([fsm.WRITEBACK, fsm.READ, fsm.PERSIST])
+
+    def test_figure6a_with_multiple_reads(self):
+        assert fsm.detects(
+            [fsm.WRITEBACK, fsm.READ, fsm.READ, fsm.PERSIST])
+
+    def test_figure6b_write_on_allocation_is_benign(self):
+        """A store-miss fetch (Read with no preceding WriteBack) must not
+        trigger detection -- the false positive of Figure 4."""
+        assert not fsm.detects([fsm.READ, fsm.PERSIST])
+
+    def test_persist_first_then_read_is_benign(self):
+        assert not fsm.detects([fsm.WRITEBACK, fsm.PERSIST, fsm.READ])
+
+    def test_expired_window_misses_late_persist(self):
+        """After expiry the entry is gone; a late persist is ignored
+        (which is why the window must cover worst-case path latency)."""
+        assert not fsm.detects(
+            [fsm.WRITEBACK, fsm.READ, fsm.EXPIRE, fsm.PERSIST])
+
+    def test_run_returns_final_state(self):
+        assert fsm.run([fsm.WRITEBACK, fsm.READ]) == fsm.SPECULATED
+        assert fsm.run([]) == fsm.INITIAL
+
+    @given(st.lists(st.sampled_from(fsm.INPUTS), max_size=30))
+    def test_total_function(self, symbols):
+        """The automaton must accept any input sequence without error."""
+        assert fsm.run(symbols) in fsm.STATES
+
+    @given(st.lists(st.sampled_from(fsm.INPUTS), max_size=30))
+    def test_detection_requires_full_pattern(self, symbols):
+        """If MISSPECULATION is reached, the input must contain a
+        WriteBack before a Read before a Persist (soundness: no detection
+        without the stale-read pattern)."""
+        if not fsm.detects(symbols):
+            return
+        saw_wb = saw_read_after_wb = confirmed = False
+        for symbol in symbols:
+            if symbol == fsm.WRITEBACK:
+                saw_wb = True
+            elif symbol == fsm.READ and saw_wb:
+                saw_read_after_wb = True
+            elif symbol == fsm.PERSIST and saw_read_after_wb:
+                confirmed = True
+        assert confirmed

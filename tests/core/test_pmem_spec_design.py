@@ -1,0 +1,88 @@
+"""Unit tests for the PMEM-Spec design class itself (core side)."""
+
+from repro.config import table3_config
+from repro.isa import Fase, LockAcquire, LockRelease, Program, PWrite, \
+    ThreadProgram
+from repro.persistency import design_by_name
+from repro.runtime import DATA_BASE
+from repro.system import build_system
+
+
+def locked_writer_program(n_threads=2, fases=4, shared=True):
+    threads = []
+    fase_id = 0
+    for tid in range(n_threads):
+        fase_list = []
+        for index in range(fases):
+            addr = DATA_BASE + (tid * fases + index) * 64
+            fase_list.append(Fase(fase_id, [
+                LockAcquire(0),
+                PWrite(addr, index + 1, shared=shared),
+                LockRelease(0),
+            ]))
+            fase_id += 1
+        threads.append(ThreadProgram(tid, fase_list))
+    return Program("tagging", threads, n_locks=1)
+
+
+def run(program, **overrides):
+    config = table3_config(n_cores=program.n_threads, **overrides)
+    system = build_system(program, design_by_name("PMEM-Spec"), config)
+    return system, system.run()
+
+
+class TestSpecIdTagging:
+    def test_shared_cs_stores_are_tagged(self):
+        _system, result = run(locked_writer_program(shared=True))
+        assert result.stats["design"]["tagged_stores"] == 8
+
+    def test_private_stores_untagged_with_escape_analysis(self):
+        _system, result = run(locked_writer_program(shared=False))
+        assert result.stats["design"].get("tagged_stores", 0) == 0
+
+    def test_naive_compiler_tags_everything(self):
+        _system, result = run(locked_writer_program(shared=False),
+                              extra={"tag_private_stores": 1})
+        assert result.stats["design"]["tagged_stores"] == 8
+
+    def test_stores_outside_critical_sections_untagged(self):
+        fase = Fase(0, [PWrite(DATA_BASE, 1, shared=True)])
+        program = Program("p", [ThreadProgram(0, [fase])])
+        _system, result = run(program)
+        assert result.stats["design"].get("tagged_stores", 0) == 0
+
+    def test_spec_ids_monotone_in_lock_order(self):
+        system, _result = run(locked_writer_program())
+        # Every critical section consumed one ID.
+        assert system.spec_ids.counter.assigned == 8
+
+
+class TestBarrierAccounting:
+    def test_one_spec_barrier_per_writing_fase(self):
+        _system, result = run(locked_writer_program())
+        assert result.stats["design"]["spec_barriers"] == 8
+
+    def test_barrier_stall_positive(self):
+        _system, result = run(locked_writer_program())
+        assert result.stats["design"]["spec_barrier_stall_cycles"] > 0
+
+    def test_log_and_commit_ride_persist_path(self):
+        system, result = run(locked_writer_program())
+        # 1 data + 2 log-entry + 1 epoch store per FASE.
+        assert result.stats["design"]["persist_path_stores"] == 8 * 4
+
+
+class TestPerControllerBuffers:
+    def test_multi_pmc_builds_one_buffer_per_controller(self):
+        program = locked_writer_program()
+        config = table3_config(n_cores=2, n_pm_controllers=2)
+        system = build_system(program, design_by_name("PMEM-Spec"),
+                              config)
+        assert len(system.spec_buffers) == 2
+        policies = [c.policy for c in system.pmc.controllers]
+        assert policies[0].spec_buffer is system.spec_buffers[0]
+        assert policies[1].spec_buffer is system.spec_buffers[1]
+        system.run()
+        total = sum(buffer.stats["in_persist"]
+                    for buffer in system.spec_buffers)
+        assert total == system.pmc.stats["persists"]

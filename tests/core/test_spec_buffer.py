@@ -1,0 +1,204 @@
+"""Unit tests for the speculation buffer and the global stall controller."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MisspeculationEvent,
+    SpeculationBuffer,
+    StallController,
+    automata,
+)
+
+WINDOW = 320  # 8 cores x 20 ns at 2 GHz, §8.1
+
+
+def make_buffer(entries=4, window=WINDOW):
+    events = []
+    stall = StallController()
+    buffer = SpeculationBuffer(entries, window, stall=stall,
+                               report=events.append)
+    return buffer, events, stall
+
+
+class TestLoadMisspeculationDetection:
+    def test_full_pattern_reports_load_misspec(self):
+        buffer, events, _ = make_buffer()
+        buffer.on_writeback(5, now=0)
+        buffer.on_read(5, now=100)
+        buffer.on_persist(5, spec_id=0, core_id=2, now=200)
+        assert len(events) == 1
+        assert events[0].kind == "load"
+        assert events[0].block == 5
+        assert events[0].core_id == 2
+        assert buffer.stats["load_misspeculations"] == 1
+
+    def test_entry_recycled_after_detection(self):
+        buffer, events, _ = make_buffer()
+        buffer.on_writeback(5, now=0)
+        buffer.on_read(5, now=100)
+        buffer.on_persist(5, spec_id=0, core_id=0, now=200)
+        assert buffer.occupancy(200) == 0
+
+    def test_read_without_writeback_ignored(self):
+        buffer, events, _ = make_buffer()
+        buffer.on_read(5, now=0)
+        buffer.on_persist(5, spec_id=0, core_id=0, now=100)
+        assert events == []
+        assert buffer.occupancy(100) == 0
+
+    def test_persist_before_read_is_benign(self):
+        buffer, events, _ = make_buffer()
+        buffer.on_writeback(5, now=0)
+        buffer.on_persist(5, spec_id=0, core_id=0, now=50)
+        buffer.on_read(5, now=100)
+        assert events == []
+
+    def test_window_expiry_prevents_detection(self):
+        buffer, events, _ = make_buffer()
+        buffer.on_writeback(5, now=0)
+        buffer.on_read(5, now=100)
+        buffer.on_persist(5, spec_id=0, core_id=0, now=100 + WINDOW + 1)
+        assert events == []
+
+    def test_different_blocks_do_not_interact(self):
+        buffer, events, _ = make_buffer()
+        buffer.on_writeback(5, now=0)
+        buffer.on_read(6, now=10)
+        buffer.on_persist(6, spec_id=0, core_id=0, now=20)
+        assert events == []
+
+    def test_state_query(self):
+        buffer, _, _ = make_buffer()
+        assert buffer.state_of(5, 0) == automata.INITIAL
+        buffer.on_writeback(5, now=0)
+        assert buffer.state_of(5, 1) == automata.EVICT
+        buffer.on_read(5, now=10)
+        assert buffer.state_of(5, 11) == automata.SPECULATED
+
+
+class TestStoreMisspeculationDetection:
+    def test_lower_spec_id_after_higher_reports(self):
+        buffer, events, _ = make_buffer()
+        buffer.on_persist(7, spec_id=10, core_id=0, now=0)
+        buffer.on_persist(7, spec_id=9, core_id=1, now=50)
+        assert len(events) == 1
+        assert events[0].kind == "store"
+        assert buffer.stats["store_misspeculations"] == 1
+
+    def test_in_order_spec_ids_benign(self):
+        buffer, events, _ = make_buffer()
+        buffer.on_persist(7, spec_id=9, core_id=0, now=0)
+        buffer.on_persist(7, spec_id=10, core_id=1, now=50)
+        assert events == []
+
+    def test_untagged_persists_never_store_misspeculate(self):
+        buffer, events, _ = make_buffer()
+        buffer.on_persist(7, spec_id=10, core_id=0, now=0)
+        buffer.on_persist(7, spec_id=0, core_id=1, now=50)
+        assert events == []
+
+    def test_window_expiry_forgets_spec_id(self):
+        buffer, events, _ = make_buffer()
+        buffer.on_persist(7, spec_id=10, core_id=0, now=0)
+        buffer.on_persist(7, spec_id=9, core_id=1, now=WINDOW + 1)
+        assert events == []
+
+    def test_same_id_is_benign(self):
+        buffer, events, _ = make_buffer()
+        buffer.on_persist(7, spec_id=4, core_id=0, now=0)
+        buffer.on_persist(7, spec_id=4, core_id=0, now=10)
+        assert events == []
+
+    def test_different_blocks_independent(self):
+        buffer, events, _ = make_buffer()
+        buffer.on_persist(7, spec_id=10, core_id=0, now=0)
+        buffer.on_persist(8, spec_id=9, core_id=1, now=10)
+        assert events == []
+
+
+class TestCapacityAndStalls:
+    def test_overflow_pauses_all_cores(self):
+        buffer, _, stall = make_buffer(entries=1)
+        buffer.on_writeback(1, now=0)
+        buffer.on_writeback(2, now=10)  # overflow: entry 1 must expire
+        assert buffer.stats["overflows"] == 1
+        assert stall.stalls == 1
+        assert stall.release_time(10) == WINDOW
+
+    def test_no_overflow_when_entries_expired(self):
+        buffer, _, stall = make_buffer(entries=1)
+        buffer.on_writeback(1, now=0)
+        buffer.on_writeback(2, now=WINDOW + 5)
+        assert buffer.stats["overflows"] == 0
+        assert stall.stalls == 0
+
+    def test_sixteen_entries_absorb_bursts(self):
+        buffer, _, stall = make_buffer(entries=16)
+        for block in range(16):
+            buffer.on_writeback(block, now=block)
+        assert buffer.stats["overflows"] == 0
+
+    def test_occupancy_decays(self):
+        buffer, _, _ = make_buffer(entries=4)
+        buffer.on_writeback(1, now=0)
+        buffer.on_writeback(2, now=100)
+        assert buffer.occupancy(150) == 2
+        assert buffer.occupancy(WINDOW + 50) == 1
+        assert buffer.occupancy(WINDOW + 150) == 0
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SpeculationBuffer(0, WINDOW)
+        with pytest.raises(ValueError):
+            SpeculationBuffer(4, 0)
+
+    @settings(max_examples=40)
+    @given(st.lists(st.tuples(st.sampled_from(["wb", "rd", "ps"]),
+                              st.integers(min_value=0, max_value=40),
+                              st.integers(min_value=0, max_value=30)),
+                    max_size=80))
+    def test_occupancy_never_exceeds_capacity(self, inputs):
+        buffer, _, _ = make_buffer(entries=4)
+        now = 0
+        for kind, block, gap in inputs:
+            now += gap
+            if kind == "wb":
+                buffer.on_writeback(block, now)
+            elif kind == "rd":
+                buffer.on_read(block, now)
+            else:
+                buffer.on_persist(block, spec_id=1, core_id=0, now=now)
+            assert len(buffer.entries()) <= 4
+
+
+class TestStallController:
+    def test_idle_release_is_now(self):
+        stall = StallController()
+        assert stall.release_time(100) == 100
+        assert not stall.stalled
+
+    def test_stall_extends_release(self):
+        stall = StallController()
+        stall.stall_all_until(10, 50)
+        assert stall.release_time(20) == 50
+        assert stall.release_time(60) == 60
+        assert stall.total_stall_cycles == 40
+
+    def test_shorter_stall_does_not_shrink(self):
+        stall = StallController()
+        stall.stall_all_until(0, 100)
+        stall.stall_all_until(10, 50)
+        assert stall.release_time(10) == 100
+        assert stall.stalls == 1
+
+
+class TestMisspeculationEvent:
+    def test_physical_address_block_aligned(self):
+        event = MisspeculationEvent("load", block=3, core_id=0, time=5)
+        assert event.physical_address == 192
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MisspeculationEvent("weird", 0, 0, 0)

@@ -1,0 +1,53 @@
+"""Unit tests for spec-ID registers and context-switch virtualisation."""
+
+from repro.core import SpecIdFile
+
+
+class TestSpecIdFile:
+    def test_assign_monotonic_across_cores(self):
+        ids = SpecIdFile(4)
+        a = ids.assign(0)
+        b = ids.assign(2)
+        c = ids.assign(1)
+        assert a < b < c
+
+    def test_current_reflects_register(self):
+        ids = SpecIdFile(2)
+        assert ids.current(0) == 0
+        assigned = ids.assign(0)
+        assert ids.current(0) == assigned
+        assert ids.current(1) == 0
+
+    def test_revoke_clears(self):
+        ids = SpecIdFile(2)
+        ids.assign(1)
+        ids.revoke(1)
+        assert ids.current(1) == 0
+
+    def test_context_switch_save_restore(self):
+        """§5.2.2: a thread scheduled out inside a critical section must
+        keep tagging after it is scheduled back in."""
+        ids = SpecIdFile(2)
+        tagged = ids.assign(0)       # thread 7 enters a critical section
+        ids.save(0, thread_id=7)     # scheduled out
+        assert ids.current(0) == 0   # register cleared for the next thread
+        other = ids.assign(0)        # thread 8 runs on core 0
+        assert other > tagged
+        ids.save(0, thread_id=8)
+        ids.restore(1, thread_id=7)  # thread 7 resumes on ANOTHER core
+        assert ids.current(1) == tagged
+
+    def test_restore_without_save_is_untagged(self):
+        ids = SpecIdFile(1)
+        ids.restore(0, thread_id=99)
+        assert ids.current(0) == 0
+
+    def test_saved_value_consumed_once(self):
+        ids = SpecIdFile(1)
+        ids.assign(0)
+        ids.save(0, thread_id=1)
+        ids.restore(0, thread_id=1)
+        first = ids.current(0)
+        ids.save(0, thread_id=1)
+        ids.restore(0, thread_id=1)
+        assert ids.current(0) == first

@@ -1,0 +1,156 @@
+"""Unit tests for the core execution model and store queue."""
+
+import pytest
+
+from repro.config import table3_config
+from repro.cpu import StoreQueue
+from repro.isa import (
+    Compute,
+    Fase,
+    LockAcquire,
+    LockRelease,
+    PRead,
+    Program,
+    PWrite,
+    ThreadProgram,
+)
+from repro.persistency import design_by_name
+from repro.runtime import DATA_BASE
+from repro.system import build_system
+
+
+def make_program(ops_per_fase, n_threads=1, fases=2, n_locks=0,
+                 think=0):
+    threads = []
+    fase_id = 0
+    for tid in range(n_threads):
+        fase_list = []
+        for _ in range(fases):
+            fase_list.append(Fase(fase_id, ops_per_fase(tid)))
+            fase_id += 1
+        threads.append(ThreadProgram(tid, fase_list, think_cycles=think))
+    return Program("test", threads, n_locks=n_locks,
+                   initial_heap={DATA_BASE: 5})
+
+
+class TestStoreQueue:
+    def test_admits_when_free(self):
+        sq = StoreQueue(table3_config(), 0)
+        assert sq.push(100, service=4) == 100
+
+    def test_full_queue_stalls(self):
+        config = table3_config(store_queue_entries=2)
+        sq = StoreQueue(config, 0)
+        sq.push(0, service=50)
+        sq.push(0, service=50)
+        accept = sq.push(0, service=50)
+        assert accept == 50
+        assert sq.stats["full_stalls"] == 1
+
+    def test_entries_complete_independently(self):
+        """A long-latency entry must not serialise short ones behind it
+        (the exponential-feedback regression this model replaced)."""
+        config = table3_config(store_queue_entries=4)
+        sq = StoreQueue(config, 0)
+        sq.push(0, service=10_000)
+        assert sq.push(1, service=4) == 1
+        assert sq.push(2, service=4) == 2
+
+    def test_drain_complete_is_max_completion(self):
+        sq = StoreQueue(table3_config(), 0)
+        sq.push(0, service=100)
+        sq.push(0, service=10)
+        assert sq.drain_complete_time(0) == 100
+        assert sq.drain_complete_time(200) == 200
+
+
+class TestCoreExecution:
+    def test_all_fases_commit(self):
+        program = make_program(
+            lambda tid: [PRead(DATA_BASE), PWrite(DATA_BASE, 7),
+                         Compute(10)])
+        system = build_system(program, design_by_name("PMEM-Spec"),
+                              table3_config(n_cores=1))
+        result = system.run()
+        assert result.fases_committed == 2
+        assert result.fases_aborted == 0
+
+    def test_architectural_image_reflects_last_write(self):
+        program = make_program(
+            lambda tid: [PWrite(DATA_BASE, 7), PWrite(DATA_BASE, 9)])
+        system = build_system(program, design_by_name("IntelX86"),
+                              table3_config(n_cores=1))
+        system.run()
+        assert system.image.read(DATA_BASE) == 9
+
+    def test_committed_data_is_durable(self):
+        """After a committed FASE the device image holds the data
+        (durability at the FASE boundary, every design)."""
+        for design in ("IntelX86", "DPO", "HOPS", "PMEM-Spec"):
+            program = make_program(lambda tid: [PWrite(DATA_BASE, 7)],
+                                   fases=1)
+            system = build_system(program, design_by_name(design),
+                                  table3_config(n_cores=1))
+            system.run()
+            assert system.device.read(DATA_BASE) == 7, design
+
+    def test_undo_log_written_before_commit(self):
+        program = make_program(lambda tid: [PWrite(DATA_BASE, 7)], fases=1)
+        system = build_system(program, design_by_name("PMEM-Spec"),
+                              table3_config(n_cores=1))
+        system.run()
+        from repro.runtime.undo_log import UndoLogLayout, unpack_stamp
+        layout = UndoLogLayout(0)
+        # The entry persisted with the pre-FASE old value and the commit
+        # bumped the epoch past the entry's stamp.
+        assert system.device.read(layout.entry_old_addr(0)) == 5
+        stamped = system.device.read(layout.entry_target_addr(0))
+        epoch, target = unpack_stamp(stamped)
+        assert target == DATA_BASE
+        assert system.device.read(layout.epoch_addr) == epoch + 1
+
+    def test_lock_contention_serialises(self):
+        program = make_program(
+            lambda tid: [LockAcquire(0), PRead(DATA_BASE),
+                         PWrite(DATA_BASE, tid + 1), Compute(50),
+                         LockRelease(0)],
+            n_threads=4, fases=3, n_locks=1)
+        system = build_system(program, design_by_name("PMEM-Spec"),
+                              table3_config(n_cores=4))
+        result = system.run()
+        assert result.fases_committed == 12
+        lock = system.locks[0]
+        assert lock.acquisitions == 12
+        assert lock.contended_acquisitions > 0
+
+    def test_instruction_counts_recorded(self):
+        program = make_program(lambda tid: [PWrite(DATA_BASE, 1)], fases=3)
+        system = build_system(program, design_by_name("IntelX86"),
+                              table3_config(n_cores=1))
+        result = system.run()
+        assert result.stats["cores"]["core0"]["instructions"] > 9
+
+    def test_think_cycles_add_time(self):
+        def build(think):
+            program = make_program(lambda tid: [Compute(10)], fases=5,
+                                   think=think)
+            system = build_system(program, design_by_name("PMEM-Spec"),
+                                  table3_config(n_cores=1))
+            return system.run().cycles
+
+        assert build(1000) > build(0) + 4000
+
+    def test_design_flavor_mismatch_rejected(self):
+        from repro.compiler import lower_program
+        from repro.system import System
+        program = make_program(lambda tid: [Compute(1)])
+        lowered = lower_program(program, "hops")
+        with pytest.raises(ValueError):
+            System(table3_config(n_cores=1),
+                   design_by_name("PMEM-Spec"), lowered)
+
+    def test_thread_count_mismatch_rejected(self):
+        program = make_program(lambda tid: [Compute(1)], n_threads=2)
+        with pytest.raises(ValueError):
+            build_system(program, design_by_name("PMEM-Spec"),
+                         table3_config(n_cores=4))

@@ -1,0 +1,211 @@
+"""Tests for the experiment harness: runners, experiments, reports, CLI."""
+
+import pytest
+
+from repro.harness import (
+    BENCHMARK_ORDER,
+    DESIGNS,
+    compare_designs,
+    figure9,
+    figure10_summary,
+    figure11,
+    figure12,
+    format_misspec_table,
+    format_normalized_table,
+    format_series,
+    format_table3,
+    lazy_vs_eager_recovery,
+    misspeculation_rates,
+    normalized_throughput,
+    run_benchmark,
+    table3_rows,
+)
+from repro.harness.__main__ import main
+
+FAST = dict(scale=0.2, seed=7)
+
+
+class TestRunner:
+    def test_run_benchmark_returns_result(self):
+        result = run_benchmark("tatp", "PMEM-Spec", n_threads=2,
+                               fases_per_thread=5)
+        assert result.design == "PMEM-Spec"
+        assert result.workload == "tatp"
+        assert result.fases_committed == 10
+
+    def test_compare_designs_same_workload(self):
+        results = compare_designs("queue", DESIGNS, n_threads=2,
+                                  fases_per_thread=5)
+        committed = {r.fases_committed for r in results.values()}
+        assert committed == {10}
+
+    def test_normalized_throughput_baseline_is_one(self):
+        results = compare_designs("queue", DESIGNS, n_threads=2,
+                                  fases_per_thread=5)
+        normalized = normalized_throughput(results)
+        assert normalized["IntelX86"] == pytest.approx(1.0)
+        assert set(normalized) == set(DESIGNS)
+
+
+class TestExperiments:
+    def test_figure9_covers_grid(self):
+        rows = figure9(n_threads=2, benchmarks=("tatp", "queue"), **FAST)
+        assert set(rows) == {"tatp", "queue"}
+        for values in rows.values():
+            assert set(values) == set(DESIGNS)
+
+    def test_figure10_summary_geomeans(self):
+        rows = {4: {"a": {"IntelX86": 1.0, "PMEM-Spec": 1.2},
+                    "b": {"IntelX86": 1.0, "PMEM-Spec": 1.3}}}
+        summary = figure10_summary(rows)
+        assert summary[4]["IntelX86"] == pytest.approx(1.0)
+        assert summary[4]["PMEM-Spec"] == pytest.approx(
+            (1.2 * 1.3) ** 0.5)
+
+    def test_figure11_normalised_to_largest(self):
+        series = figure11(buffer_sizes=(1, 16), n_threads=2,
+                          benchmarks=("hashmap",), **FAST)
+        assert series[16] == pytest.approx(1.0)
+        assert 0 < series[1] <= 1.1
+
+    def test_figure12_tracks_both_designs(self):
+        series = figure12(latencies_ns=(20,), n_threads=2,
+                          benchmarks=("tatp",), **FAST)
+        assert set(series[20]) == {"HOPS", "PMEM-Spec"}
+
+    def test_misspeculation_rates_shape(self):
+        rows = misspeculation_rates(n_threads=2, **FAST)
+        names = [row["workload"] for row in rows]
+        for benchmark in BENCHMARK_ORDER:
+            assert benchmark in names
+        benchmark_rows = [r for r in rows if r["config"] == "table3"]
+        assert all(r["load_misspec"] == 0 and r["store_misspec"] == 0
+                   for r in benchmark_rows)
+        probe_rows = {(r["workload"], r["config"]): r for r in rows}
+        assert probe_rows[("load_misspec_probe", "125x path")][
+            "load_misspec"] > 0
+        assert probe_rows[("load_misspec_probe", "20ns path")][
+            "load_misspec"] == 0
+        assert probe_rows[("store_misspec_probe", "congested ring")][
+            "store_misspec"] > 0
+
+    def test_lazy_vs_eager(self):
+        out = lazy_vs_eager_recovery(**FAST)
+        assert set(out) == {"lazy", "eager"}
+        for stats in out.values():
+            assert stats["commits"] > 0
+
+
+class TestReports:
+    def test_table3_format_matches_paper_values(self):
+        text = format_table3()
+        assert "2GHz, 8way-OoO" in text
+        assert "Read = 175ns/Write = 94ns" in text
+        assert "4-entry speculation buffer" in text
+        assert "Persist-Path" in text
+
+    def test_table3_rows_structure(self):
+        rows = table3_rows()
+        assert rows[0][0] == "Core"
+
+    def test_normalized_table_has_geomean(self):
+        rows = {"x": {"A": 1.0, "B": 2.0}, "y": {"A": 1.0, "B": 0.5}}
+        text = format_normalized_table(rows, ("A", "B"), "T")
+        assert "geomean" in text
+        assert "1.000" in text
+
+    def test_series_scalar_and_dict(self):
+        assert "1.500" in format_series({1: 1.5}, "x", "y", "t")
+        assert "a=1.000" in format_series({1: {"a": 1.0}}, "x", "y", "t")
+
+    def test_misspec_table(self):
+        rows = [{"workload": "w", "config": "c", "load_misspec": 1,
+                 "store_misspec": 2, "stale_loads": 3, "aborts": 4,
+                 "commits": 5}]
+        text = format_misspec_table(rows, "T")
+        assert "w" in text and "5" in text
+
+
+class TestCLI:
+    def test_table3_command(self, capsys):
+        assert main(["table3"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_fig9_tiny(self, capsys):
+        assert main(["fig9", "--scale", "0.1", "--threads", "2",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "geomean" in out
+
+
+class TestExtensionExperiments:
+    def test_figure2_annotation_burden(self):
+        from repro.harness import figure2_annotation_burden
+        rows = figure2_annotation_burden(benchmarks=("queue",))
+        row = rows["queue"]
+        # The paper's programmability ordering: x86 heaviest, strand
+        # heavy (strands are programmer-denoted), PMEM-Spec exactly one.
+        assert row["pmemspec"] == 1.0
+        assert row["x86"] > row["hops"] > row["pmemspec"]
+        assert row["strand"] > row["pmemspec"]
+
+    def test_undo_vs_redo_ablation(self):
+        from repro.harness import undo_vs_redo_ablation
+        out = undo_vs_redo_ablation(n_threads=2, scale=0.2, seed=5,
+                                    benchmarks=("hashmap",),
+                                    designs=("PMEM-Spec",))
+        row = out["hashmap"]
+        assert row["PMEM-Spec/undo"] > 0
+        assert row["PMEM-Spec/redo"] > 0
+        assert row["PMEM-Spec_redo_speedup"] > 0.5
+
+    def test_cli_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+
+class TestBarChart:
+    def test_bars_scale_and_reference_tick(self):
+        from repro.harness import format_bar_chart
+        text = format_bar_chart({"A": 1.0, "B": 2.0}, "T", width=20,
+                                reference=1.0)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        bar_a = lines[2]
+        bar_b = lines[3]
+        assert bar_b.count("#") > bar_a.count("#")
+        assert "|" in bar_a or "|" in bar_b
+
+    def test_empty_rejected(self):
+        import pytest
+        from repro.harness import format_bar_chart
+        with pytest.raises(ValueError):
+            format_bar_chart({}, "T")
+
+    def test_nonpositive_rejected(self):
+        import pytest
+        from repro.harness import format_bar_chart
+        with pytest.raises(ValueError):
+            format_bar_chart({"A": 0.0}, "T")
+
+
+class TestRunCommand:
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", "--benchmark", "tatp", "--design", "HOPS",
+                     "--threads", "2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "misspeculations" in out
+
+    def test_run_json(self, capsys):
+        import json
+        assert main(["run", "--benchmark", "queue", "--design",
+                     "PMEM-Spec", "--threads", "2", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["workload"] == "queue"

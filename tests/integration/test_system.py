@@ -1,0 +1,113 @@
+"""End-to-end system tests: every benchmark under every design."""
+
+import pytest
+
+from repro.config import table3_config
+from repro.harness import compare_designs, normalized_throughput
+from repro.persistency import design_by_name
+from repro.system import build_system
+from repro.workloads import BENCHMARKS, workload_by_name
+
+DESIGNS = ("IntelX86", "DPO", "HOPS", "PMEM-Spec")
+SMALL = dict(n_threads=2, fases_per_thread=8)
+
+
+@pytest.mark.parametrize("bench_name", sorted(BENCHMARKS))
+@pytest.mark.parametrize("design", DESIGNS)
+class TestEveryPair:
+    def test_runs_to_completion_and_validates(self, bench_name, design):
+        workload = workload_by_name(bench_name, seed=11)
+        program = workload.build(**SMALL)
+        system = build_system(program, design_by_name(design),
+                              table3_config(n_cores=2))
+        result = system.run()
+        assert result.fases_committed == program.total_fases
+        assert result.fases_aborted == 0
+        assert result.misspeculations == 0
+        # Architectural end state is structurally consistent.
+        assert workload.validate_recovered(system.image.snapshot()) == []
+        # Durable end state too: every FASE committed with durability.
+        assert workload.validate_recovered(system.device.snapshot()) == []
+
+
+class TestFigure9Shape:
+    """The headline comparison's qualitative shape on a fast subset."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        out = {}
+        for benchmark in ("queue", "rbtree", "tpcc"):
+            runs = compare_designs(benchmark, DESIGNS, n_threads=4,
+                                   fases_per_thread=15, seed=42,
+                                   config=table3_config(n_cores=4))
+            out[benchmark] = normalized_throughput(runs)
+        return out
+
+    def test_baseline_normalises_to_one(self, results):
+        for rows in results.values():
+            assert rows["IntelX86"] == pytest.approx(1.0)
+
+    def test_pmem_spec_beats_baseline_on_long_fases(self, results):
+        assert results["rbtree"]["PMEM-Spec"] > 1.0
+        assert results["tpcc"]["PMEM-Spec"] > 1.0
+
+    def test_dpo_does_not_beat_baseline_meaningfully(self, results):
+        for rows in results.values():
+            assert rows["DPO"] < 1.10
+
+    def test_hops_beats_baseline_on_long_fases(self, results):
+        assert results["tpcc"]["HOPS"] > 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_cycles(self):
+        def run_once():
+            workload = workload_by_name("hashmap", seed=9)
+            program = workload.build(2, 10)
+            system = build_system(program, design_by_name("PMEM-Spec"),
+                                  table3_config(n_cores=2))
+            return system.run().cycles
+
+        assert run_once() == run_once()
+
+    def test_crash_prefix_matches_full_run(self):
+        """Stopping at cycle T observes exactly the prefix of the full
+        run (event determinism)."""
+        def build():
+            workload = workload_by_name("array_swaps", seed=9)
+            program = workload.build(2, 10)
+            return build_system(program, design_by_name("IntelX86"),
+                                table3_config(n_cores=2))
+
+        full = build()
+        full_result = full.run()
+        half = build()
+        half.run(until=full_result.cycles // 2)
+        snapshot = half.persisted_snapshot()
+        # Every persisted value at T exists in the full run's history
+        # semantics: committed FASEs at T are a prefix of the full run's.
+        assert half.runtime.total_commits <= full.runtime.total_commits
+        assert snapshot  # something persisted by mid-run
+
+
+class TestSimResult:
+    def test_throughput_units(self):
+        workload = workload_by_name("tatp", seed=3)
+        program = workload.build(2, 10)
+        system = build_system(program, design_by_name("PMEM-Spec"),
+                              table3_config(n_cores=2))
+        result = system.run()
+        assert result.seconds == pytest.approx(
+            result.cycles / 2e9)  # 2 GHz
+        assert result.throughput == pytest.approx(
+            result.fases_committed / result.seconds)
+
+    def test_stats_sections_present(self):
+        workload = workload_by_name("queue", seed=3)
+        program = workload.build(2, 5)
+        system = build_system(program, design_by_name("HOPS"),
+                              table3_config(n_cores=2))
+        result = system.run()
+        for section in ("design", "runtime", "pmc", "hierarchy",
+                        "spec_buffer", "cores"):
+            assert section in result.stats

@@ -1,0 +1,71 @@
+"""Unit tests for the trace disassembler."""
+
+import json
+
+from repro.compiler import lower_fase
+from repro.config import table3_config
+from repro.isa import (
+    Fase,
+    LockAcquire,
+    LockRelease,
+    PRead,
+    PWrite,
+    compare_flavors,
+    disassemble,
+    disassemble_fase,
+)
+from repro.persistency import design_by_name
+from repro.runtime import DATA_BASE
+from repro.system import build_system
+
+
+def sample_fase():
+    return Fase(3, [LockAcquire(0), PRead(DATA_BASE),
+                    PWrite(DATA_BASE, 9), LockRelease(0)])
+
+
+class TestDisassembly:
+    def test_fase_header_and_ops(self):
+        lowered = lower_fase(sample_fase(), 1, "pmemspec", epoch=2)
+        text = disassemble_fase(lowered)
+        assert "fase 3 thread 1 flavor pmemspec" in text
+        assert "SPEC_BARRIER" in text
+        assert "fase_begin" in text
+
+    def test_log_stores_annotated(self):
+        lowered = lower_fase(sample_fase(), 0, "x86")
+        text = "\n".join(disassemble(lowered.ops))
+        assert "log[t0]" in text
+        assert "old-of" in text
+        assert "SFENCE" in text
+
+    def test_private_stores_marked(self):
+        fase = Fase(0, [PWrite(DATA_BASE, 1, shared=False)])
+        lowered = lower_fase(fase, 0, "pmemspec")
+        text = "\n".join(disassemble(lowered.ops))
+        assert "private" in text
+
+    def test_compare_flavors_columns(self):
+        text = compare_flavors(sample_fase())
+        assert "x86" in text and "hops" in text and "pmemspec" in text
+        assert "clwb" in text
+        assert "OFENCE" in text
+
+    def test_strand_flavor_renders(self):
+        text = compare_flavors(sample_fase(), flavors=("strand",))
+        assert "new_strand" in text
+        assert "STRAND_BARRIER" in text
+
+
+class TestResultExport:
+    def test_to_json_round_trips(self):
+        from repro.workloads import workload_by_name
+        workload = workload_by_name("tatp", seed=3)
+        program = workload.build(1, 3)
+        system = build_system(program, design_by_name("PMEM-Spec"),
+                              table3_config(n_cores=1))
+        result = system.run()
+        data = json.loads(result.to_json())
+        assert data["design"] == "PMEM-Spec"
+        assert data["fases_committed"] == 3
+        assert "stats" in data and "design" in data["stats"]

@@ -1,0 +1,90 @@
+"""Unit tests for instruction definitions and address helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import (
+    CACHE_BLOCK_BYTES,
+    Clwb,
+    Comp,
+    Compute,
+    Dfence,
+    Ld,
+    Ofence,
+    Sfence,
+    SpecAssign,
+    SpecBarrier,
+    SpecRevoke,
+    St,
+    block_base,
+    block_of,
+    describe,
+    is_barrier,
+)
+
+
+class TestAddressHelpers:
+    def test_block_of_grid(self):
+        assert block_of(0) == 0
+        assert block_of(63) == 0
+        assert block_of(64) == 1
+        assert block_of(130) == 2
+
+    def test_block_base(self):
+        assert block_base(0) == 0
+        assert block_base(63) == 0
+        assert block_base(64) == 64
+        assert block_base(200) == 192
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_base_is_aligned_and_contains_addr(self, addr):
+        base = block_base(addr)
+        assert base % CACHE_BLOCK_BYTES == 0
+        assert base <= addr < base + CACHE_BLOCK_BYTES
+        assert block_of(addr) == base // CACHE_BLOCK_BYTES
+
+    @given(st.integers(min_value=0, max_value=2**48),
+           st.integers(min_value=0, max_value=63))
+    def test_same_block_for_offsets(self, base_block, offset):
+        addr = base_block * CACHE_BLOCK_BYTES + offset
+        assert block_of(addr) == base_block
+
+
+class TestInstructions:
+    def test_store_defaults(self):
+        st_op = St(0x100, 7)
+        assert st_op.to_pm is True
+        assert st_op.kind == "data"
+
+    def test_store_kinds(self):
+        assert St(0x0, 0, kind="log").kind == "log"
+        assert St(0x0, 0, kind="commit").kind == "commit"
+
+    def test_compute_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+
+    def test_barrier_classification(self):
+        assert is_barrier(Sfence())
+        assert is_barrier(Ofence())
+        assert is_barrier(Dfence())
+        assert is_barrier(SpecBarrier())
+        assert not is_barrier(Ld(0))
+        assert not is_barrier(St(0, 0))
+        assert not is_barrier(Clwb(0))
+        assert not is_barrier(SpecAssign())
+        assert not is_barrier(SpecRevoke())
+
+    def test_describe_includes_address(self):
+        assert describe(Ld(0x40)) == "ld 0x40"
+        assert describe(Clwb(0x80)) == "clwb 0x80"
+        assert describe(Sfence()) == "sfence"
+
+    def test_mnemonics_unique_for_fences(self):
+        mnems = {op().mnemonic
+                 for op in (Sfence, Ofence, Dfence, SpecBarrier)}
+        assert len(mnems) == 4
+
+    def test_comp_repr(self):
+        assert repr(Comp(12)) == "Comp(12)"

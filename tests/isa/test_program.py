@@ -1,0 +1,118 @@
+"""Unit tests for Fase / ThreadProgram / Program containers."""
+
+import pytest
+
+from repro.isa import (
+    Compute,
+    Fase,
+    LockAcquire,
+    LockRelease,
+    PRead,
+    PWrite,
+    Program,
+    ProgramError,
+    ThreadProgram,
+    op_histogram,
+    sequential_reference_heap,
+)
+
+
+def simple_fase(fase_id=0, addr=0x100, value=1):
+    return Fase(fase_id, [PRead(addr), PWrite(addr, value)])
+
+
+class TestFase:
+    def test_writes_in_first_write_order(self):
+        fase = Fase(0, [PWrite(0x80, 1), PWrite(0x40, 2), PWrite(0x80, 3)])
+        assert fase.writes == [0x80, 0x40]
+
+    def test_reads_deduplicated(self):
+        fase = Fase(0, [PRead(0x40), PRead(0x40), PRead(0x80)])
+        assert fase.reads == [0x40, 0x80]
+
+    def test_final_values_last_write_wins(self):
+        fase = Fase(0, [PWrite(0x40, 1), PWrite(0x40, 9)])
+        assert fase.final_values() == {0x40: 9}
+
+    def test_balanced_locks_ok(self):
+        Fase(0, [LockAcquire(0), PWrite(0x40, 1), LockRelease(0)])
+
+    def test_unreleased_lock_rejected(self):
+        with pytest.raises(ProgramError):
+            Fase(0, [LockAcquire(0), PWrite(0x40, 1)])
+
+    def test_mismatched_release_rejected(self):
+        with pytest.raises(ProgramError):
+            Fase(0, [LockAcquire(0), LockRelease(1)])
+
+    def test_recursive_lock_rejected(self):
+        with pytest.raises(ProgramError):
+            Fase(0, [LockAcquire(0), LockAcquire(0),
+                     LockRelease(0), LockRelease(0)])
+
+    def test_nested_distinct_locks_ok(self):
+        Fase(0, [LockAcquire(0), LockAcquire(1),
+                 LockRelease(1), LockRelease(0)])
+
+    def test_count_by_type(self):
+        fase = Fase(0, [PRead(0), PWrite(0, 1), PWrite(64, 2), Compute(5)])
+        assert fase.count(PWrite) == 2
+        assert fase.count(PRead) == 1
+        assert len(fase) == 4
+
+
+class TestThreadProgram:
+    def test_total_ops(self):
+        tp = ThreadProgram(0, [simple_fase(0), simple_fase(1)])
+        assert tp.total_ops == 4
+
+    def test_negative_think_rejected(self):
+        with pytest.raises(ProgramError):
+            ThreadProgram(0, [], think_cycles=-1)
+
+
+class TestProgram:
+    def test_thread_ids_must_be_dense(self):
+        with pytest.raises(ProgramError):
+            Program("p", [ThreadProgram(1, [simple_fase()])])
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            Program("p", [])
+
+    def test_lock_table_sized(self):
+        fase = Fase(0, [LockAcquire(3), LockRelease(3)])
+        with pytest.raises(ProgramError):
+            Program("p", [ThreadProgram(0, [fase])], n_locks=3)
+        Program("p", [ThreadProgram(0, [fase])], n_locks=4)
+
+    def test_counts(self):
+        prog = Program("p", [
+            ThreadProgram(0, [simple_fase(0), simple_fase(1)]),
+            ThreadProgram(1, [simple_fase(2)]),
+        ])
+        assert prog.n_threads == 2
+        assert prog.total_fases == 3
+
+    def test_expected_final_heap_order_matters(self):
+        f1 = Fase(0, [PWrite(0x40, 1)])
+        f2 = Fase(1, [PWrite(0x40, 2)])
+        prog = Program("p", [ThreadProgram(0, [f1, f2])],
+                       initial_heap={0x40: 0})
+        assert prog.expected_final_heap([f1, f2]) == {0x40: 2}
+        assert prog.expected_final_heap([f2, f1]) == {0x40: 1}
+
+    def test_sequential_reference_heap(self):
+        f1 = Fase(0, [PWrite(0x40, 5)])
+        f2 = Fase(1, [PWrite(0x80, 6)])
+        prog = Program("p", [ThreadProgram(0, [f1]), ThreadProgram(1, [f2])],
+                       initial_heap={0x40: 0, 0x80: 0, 0xC0: 9})
+        assert sequential_reference_heap(prog) == {0x40: 5, 0x80: 6, 0xC0: 9}
+
+    def test_op_histogram(self):
+        fase = Fase(0, [PRead(0), PWrite(0, 1), Compute(3),
+                        LockAcquire(0), LockRelease(0)])
+        prog = Program("p", [ThreadProgram(0, [fase])], n_locks=1)
+        hist = op_histogram(prog)
+        assert hist == {"pread": 1, "pwrite": 1, "compute": 1,
+                        "lock_acquire": 1, "lock_release": 1}

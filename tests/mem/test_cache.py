@@ -1,0 +1,130 @@
+"""Unit and property tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import EXCLUSIVE, MODIFIED, SHARED, Cache
+
+
+def make_cache(sets=4, ways=2):
+    return Cache("test", sets, ways)
+
+
+class TestGeometry:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache("c", 0, 2)
+        with pytest.raises(ValueError):
+            Cache("c", 2, 0)
+
+    def test_set_mapping_by_modulo(self):
+        cache = make_cache(sets=4, ways=1)
+        cache.insert(0, {}, EXCLUSIVE)
+        cache.insert(1, {}, EXCLUSIVE)
+        # Blocks 0 and 4 share set 0; block 1 is untouched.
+        victim = cache.insert(4, {}, EXCLUSIVE)
+        assert victim is not None and victim.block == 0
+        assert 1 in cache
+
+
+class TestLookupInsert:
+    def test_miss_returns_none(self):
+        assert make_cache().lookup(7) is None
+
+    def test_hit_after_insert(self):
+        cache = make_cache()
+        cache.insert(7, {448: 5}, SHARED)
+        line = cache.lookup(7)
+        assert line is not None
+        assert line.data == {448: 5}
+        assert line.state == SHARED
+
+    def test_insert_invalid_state_rejected(self):
+        with pytest.raises(ValueError):
+            make_cache().insert(1, {}, "I")
+
+    def test_reinsert_replaces_in_place(self):
+        cache = make_cache(sets=1, ways=2)
+        cache.insert(0, {0: 1}, EXCLUSIVE)
+        cache.insert(1, {64: 2}, EXCLUSIVE)
+        victim = cache.insert(0, {0: 9}, MODIFIED)
+        assert victim is None
+        assert cache.lookup(0).data == {0: 9}
+        assert cache.occupancy == 2
+
+    def test_lru_eviction_order(self):
+        cache = make_cache(sets=1, ways=2)
+        cache.insert(0, {}, EXCLUSIVE)
+        cache.insert(1, {}, EXCLUSIVE)
+        cache.lookup(0)  # block 0 most recent; 1 is the LRU victim
+        victim = cache.insert(2, {}, EXCLUSIVE)
+        assert victim.block == 1
+
+    def test_lookup_without_touch_preserves_lru(self):
+        cache = make_cache(sets=1, ways=2)
+        cache.insert(0, {}, EXCLUSIVE)
+        cache.insert(1, {}, EXCLUSIVE)
+        cache.lookup(0, touch=False)  # 0 stays LRU
+        victim = cache.insert(2, {}, EXCLUSIVE)
+        assert victim.block == 0
+
+    def test_dirty_eviction_counted(self):
+        cache = make_cache(sets=1, ways=1)
+        cache.insert(0, {0: 1}, MODIFIED)
+        victim = cache.insert(1, {}, EXCLUSIVE)
+        assert victim.dirty
+        assert cache.stats["dirty_evictions"] == 1
+
+
+class TestWriteInvalidate:
+    def test_write_marks_modified(self):
+        cache = make_cache()
+        cache.insert(3, {192: 0}, EXCLUSIVE)
+        cache.write(3, 196, 42)
+        line = cache.lookup(3)
+        assert line.state == MODIFIED
+        assert line.data[196] == 42
+
+    def test_write_nonresident_raises(self):
+        with pytest.raises(KeyError):
+            make_cache().write(5, 320, 1)
+
+    def test_invalidate_returns_contents(self):
+        cache = make_cache()
+        cache.insert(2, {128: 7}, MODIFIED)
+        victim = cache.invalidate(2)
+        assert victim.dirty and victim.data == {128: 7}
+        assert 2 not in cache
+
+    def test_invalidate_missing_returns_none(self):
+        assert make_cache().invalidate(9) is None
+
+    def test_downgrade(self):
+        cache = make_cache()
+        cache.insert(1, {}, MODIFIED)
+        cache.downgrade(1, SHARED)
+        assert cache.lookup(1).state == SHARED
+
+
+class TestProperties:
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                    max_size=200))
+    def test_occupancy_never_exceeds_capacity(self, blocks):
+        cache = make_cache(sets=4, ways=2)
+        for block in blocks:
+            cache.insert(block, {}, EXCLUSIVE)
+        assert cache.occupancy <= 8
+        # Every resident block is findable.
+        for block in cache.resident_blocks():
+            assert cache.lookup(block, touch=False) is not None
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=31), min_size=1,
+                    max_size=100))
+    def test_most_recent_insert_always_resident(self, blocks):
+        cache = make_cache(sets=8, ways=2)
+        for block in blocks:
+            cache.insert(block, {}, EXCLUSIVE)
+            assert block in cache

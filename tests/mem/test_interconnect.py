@@ -1,0 +1,146 @@
+"""Unit tests for persist path, flush path, spec-ID counter, lock network."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import table3_config
+from repro.mem import (
+    FlushPath,
+    LockNetwork,
+    PersistMessage,
+    PersistPath,
+    SpecIdCounter,
+)
+
+
+def make_path(n_cores=8, **overrides):
+    config = table3_config(n_cores=n_cores, **overrides)
+    return PersistPath(config, n_cores)
+
+
+class TestPersistPath:
+    def test_idle_latency_is_traversal_plus_slot(self):
+        path = make_path()
+        config = table3_config()
+        arrival = path.send(0, now=0)
+        assert arrival == config.ns(config.ring_slot_ns) + config.ns(
+            config.persist_path_ns)
+
+    def test_per_core_fifo_order(self):
+        path = make_path()
+        first = path.send(0, now=0)
+        second = path.send(0, now=0)
+        third = path.send(0, now=1000)
+        assert first < second < third
+
+    def test_fifo_even_when_later_injection_could_overtake(self):
+        path = make_path()
+        # Saturate the bus so core 0's first message queues behind others.
+        for _ in range(20):
+            path.send(1, now=0)
+        first = path.send(0, now=0)
+        # With an empty bus later, the raw arrival would beat `first`
+        # without the FIFO guard.
+        second = path.send(0, now=first - 30)
+        assert second > first
+
+    def test_bus_contention_serialises_slots(self):
+        config = table3_config()
+        path = make_path()
+        arrivals = [path.send(core, now=0) for core in range(8)]
+        spread = max(arrivals) - min(arrivals)
+        slot = max(1, config.ns(config.ring_slot_ns))
+        expected_waves = 8 // config.persist_path_lanes - 1
+        assert spread >= expected_waves * slot
+
+    def test_global_fifo_mode(self):
+        config = table3_config()
+        path = PersistPath(config, 8, global_fifo=True)
+        a = path.send(0, now=0)
+        b = path.send(1, now=0)
+        c = path.send(2, now=0)
+        assert a < b < c
+
+    def test_bad_core_rejected(self):
+        with pytest.raises(ValueError):
+            make_path(n_cores=4).send(4, now=0)
+
+    def test_last_arrival_tracks_per_core(self):
+        path = make_path()
+        arrival = path.send(3, now=10)
+        assert path.last_arrival(3) == arrival
+        assert path.last_arrival(0) == 0
+
+    def test_idle_window_matches_paper(self):
+        # 8 cores x 20 ns = 160 ns = 320 cycles at 2 GHz (§8.1).
+        path = make_path()
+        assert path.idle_window() == 320
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=7),
+                              st.integers(min_value=0, max_value=10000)),
+                    min_size=1, max_size=60))
+    def test_arrivals_monotonic_per_core(self, sends):
+        path = make_path()
+        last = {}
+        clock = 0
+        for core, gap in sends:
+            clock += gap
+            arrival = path.send(core, now=clock)
+            assert arrival > last.get(core, -1)
+            last[core] = arrival
+
+
+class TestFlushPath:
+    def test_idle_traversal(self):
+        config = table3_config()
+        path = FlushPath(config)
+        arrival = path.send(0)
+        assert arrival == config.ns(config.ring_slot_ns) + config.ns(
+            config.l1_to_pmc_ns)
+
+    def test_width_parallelism(self):
+        config = table3_config()
+        path = FlushPath(config, width=4)
+        arrivals = [path.send(0) for _ in range(4)]
+        assert len(set(arrivals)) == 1
+
+
+class TestSpecIdCounter:
+    def test_ids_monotonic_from_one(self):
+        counter = SpecIdCounter()
+        assert [counter.assign() for _ in range(3)] == [1, 2, 3]
+
+    def test_untagged_is_zero(self):
+        assert SpecIdCounter.UNTAGGED == 0
+        counter = SpecIdCounter()
+        assert counter.assign() != SpecIdCounter.UNTAGGED
+
+
+class TestPersistMessage:
+    def test_untagged_by_default(self):
+        msg = PersistMessage(0, 0x40, 1)
+        assert not msg.tagged
+
+    def test_tagged(self):
+        msg = PersistMessage(0, 0x40, 1, spec_id=5)
+        assert msg.tagged
+        assert "spec_id=5" in repr(msg)
+
+
+class TestLockNetwork:
+    def test_first_acquire_free(self):
+        net = LockNetwork(table3_config())
+        assert net.transfer_cost(0, core_id=2) == 0
+
+    def test_same_owner_free(self):
+        net = LockNetwork(table3_config())
+        net.transfer_cost(0, 1)
+        assert net.transfer_cost(0, 1) == 0
+
+    def test_migration_costs_handoff(self):
+        config = table3_config()
+        net = LockNetwork(config)
+        net.transfer_cost(0, 1)
+        assert net.transfer_cost(0, 2) == config.ns(config.lock_handoff_ns)

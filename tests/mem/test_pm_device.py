@@ -1,0 +1,63 @@
+"""Unit tests for the PM device model."""
+
+import pytest
+
+from repro.mem import PMDevice
+
+
+class TestPMDevice:
+    def test_unwritten_reads_zero(self):
+        assert PMDevice().read(0x1234) == 0
+
+    def test_initial_image(self):
+        device = PMDevice({0x40: 7})
+        assert device.read(0x40) == 7
+
+    def test_persist_store(self):
+        device = PMDevice()
+        device.persist_store(0x80, 5, now=100)
+        assert device.read(0x80) == 5
+        assert device.stores_persisted == 1
+
+    def test_persist_block(self):
+        device = PMDevice()
+        device.persist_block(0x40, {0x40: 1, 0x48: 2}, now=50)
+        assert device.read(0x40) == 1
+        assert device.read(0x48) == 2
+        assert device.blocks_persisted == 1
+
+    def test_persist_block_rejects_out_of_block_addresses(self):
+        device = PMDevice()
+        with pytest.raises(ValueError):
+            device.persist_block(0x40, {0x100: 1}, now=0)
+
+    def test_block_content(self):
+        device = PMDevice({0x40: 1, 0x7F: 2, 0x80: 3})
+        assert device.block_content(1) == {0x40: 1, 0x7F: 2}
+        assert device.block_content(2) == {0x80: 3}
+        assert device.block_content(9) == {}
+
+    def test_history_recorded_when_enabled(self):
+        device = PMDevice(record_history=True)
+        device.persist_store(0x40, 1, now=10)
+        device.persist_block(0x80, {0x80: 2}, now=20)
+        assert device.history == [(10, 0x40, 1, "persist-path"),
+                                  (20, 0x80, 2, "writeback")]
+
+    def test_history_off_by_default(self):
+        device = PMDevice()
+        device.persist_store(0x40, 1, now=10)
+        assert device.history == []
+
+    def test_snapshot_is_a_copy(self):
+        device = PMDevice({0x40: 1})
+        snap = device.snapshot()
+        snap[0x40] = 99
+        assert device.read(0x40) == 1
+
+    def test_len_counts_addresses(self):
+        device = PMDevice()
+        device.persist_store(0, 1, 0)
+        device.persist_store(8, 2, 0)
+        device.persist_store(8, 3, 0)
+        assert len(device) == 2

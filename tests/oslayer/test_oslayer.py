@@ -1,0 +1,124 @@
+"""Unit tests for the OS layer: reverse map, interrupts, context switching."""
+
+import pytest
+
+from repro.core import MisspeculationEvent, SpecIdFile
+from repro.oslayer import (
+    ContextSwitcher,
+    InterruptController,
+    ReverseMap,
+    SimProcess,
+)
+
+
+def event(block=4, kind="load"):
+    return MisspeculationEvent(kind, block=block, core_id=0, time=10)
+
+
+class TestSimProcess:
+    def test_owns_range(self):
+        proc = SimProcess(1)
+        proc.map_range(0x1000, 0x2000)
+        assert proc.owns(0x1000)
+        assert proc.owns(0x1FFF)
+        assert not proc.owns(0x2000)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            SimProcess(1).map_range(0x10, 0x10)
+
+    def test_negative_pid_rejected(self):
+        with pytest.raises(ValueError):
+            SimProcess(-1)
+
+
+class TestReverseMap:
+    def test_lookup_finds_owner(self):
+        rmap = ReverseMap()
+        proc = SimProcess(3)
+        proc.map_range(0x100, 0x200)
+        rmap.register(proc)
+        assert rmap.lookup(0x150) is proc
+        assert rmap.lookup(0x900) is None
+
+    def test_duplicate_pid_rejected(self):
+        rmap = ReverseMap()
+        rmap.register(SimProcess(1))
+        with pytest.raises(ValueError):
+            rmap.register(SimProcess(1))
+
+    def test_unregister(self):
+        rmap = ReverseMap()
+        proc = SimProcess(1)
+        proc.map_range(0, 10)
+        rmap.register(proc)
+        rmap.unregister(1)
+        assert rmap.lookup(5) is None
+        assert len(rmap) == 0
+
+
+class TestInterruptController:
+    def make(self):
+        controller = InterruptController()
+        received = []
+        proc = SimProcess(7)
+        proc.map_range(0, 0x10000)
+        controller.register_process(
+            proc, lambda ev, now: received.append((ev, now)))
+        return controller, received
+
+    def test_relay_to_owning_runtime(self):
+        controller, received = self.make()
+        assert controller.raise_misspeculation(event(block=4), now=99)
+        assert len(received) == 1
+        assert received[0][1] == 99
+        assert controller.stats["relayed_interrupts"] == 1
+
+    def test_designated_space_records_address(self):
+        controller, _ = self.make()
+        controller.raise_misspeculation(event(block=4), now=0)
+        assert controller.designated_space[-1] == 4 * 64
+
+    def test_unowned_address_dropped(self):
+        controller, received = self.make()
+        assert not controller.raise_misspeculation(
+            MisspeculationEvent("load", block=10**6, core_id=0, time=0), 0)
+        assert received == []
+        assert controller.stats["unowned_interrupts"] == 1
+
+    def test_kind_counted(self):
+        controller, _ = self.make()
+        controller.raise_misspeculation(event(kind="store"), 0)
+        assert controller.stats["interrupts_store"] == 1
+
+    def test_unregistered_process_not_signalled(self):
+        controller, received = self.make()
+        controller.unregister_process(7)
+        assert not controller.raise_misspeculation(event(), 0)
+        assert received == []
+
+    def test_designated_space_bounded(self):
+        controller, _ = self.make()
+        for _ in range(100):
+            controller.raise_misspeculation(event(), 0)
+        assert len(controller.designated_space) == 64
+
+
+class TestContextSwitcher:
+    def test_spec_id_survives_descheduling(self):
+        ids = SpecIdFile(2)
+        switcher = ContextSwitcher(ids, 2)
+        switcher.schedule(0, thread_id=10)
+        tagged = ids.assign(0)           # thread 10 enters critical section
+        previous = switcher.schedule(0, thread_id=11)
+        assert previous == 10
+        assert ids.current(0) == 0       # thread 11 starts untagged
+        switcher.schedule(1, thread_id=10)
+        assert ids.current(1) == tagged  # restored on another core
+
+    def test_switch_count(self):
+        ids = SpecIdFile(1)
+        switcher = ContextSwitcher(ids, 1)
+        switcher.schedule(0, 1)
+        switcher.schedule(0, 2)
+        assert switcher.switches == 2

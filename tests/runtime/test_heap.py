@@ -1,0 +1,94 @@
+"""Unit tests for the persistent heap and log-region layout."""
+
+import pytest
+
+from repro.runtime import (
+    DATA_BASE,
+    LOG_BASE,
+    LOG_REGION_BYTES,
+    AllocationError,
+    PersistentHeap,
+    is_log_address,
+    log_region_base,
+    thread_of_log_address,
+)
+
+
+class TestPersistentHeap:
+    def test_first_alloc_at_base(self):
+        heap = PersistentHeap()
+        assert heap.alloc(64) == DATA_BASE
+
+    def test_allocations_do_not_overlap(self):
+        heap = PersistentHeap()
+        a = heap.alloc(24)
+        b = heap.alloc(24)
+        assert b >= a + 24
+
+    def test_alignment(self):
+        heap = PersistentHeap()
+        heap.alloc(3)
+        addr = heap.alloc(8, align=64)
+        assert addr % 64 == 0
+
+    def test_alloc_block_is_block_aligned(self):
+        heap = PersistentHeap()
+        heap.alloc(5)
+        block = heap.alloc_block()
+        assert block % 64 == 0
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(AllocationError):
+            PersistentHeap().alloc(0)
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(AllocationError):
+            PersistentHeap().alloc(8, align=3)
+
+    def test_exhaustion(self):
+        heap = PersistentHeap(base=0, limit=128)
+        heap.alloc(100)
+        with pytest.raises(AllocationError):
+            heap.alloc(100)
+
+    def test_labels_tracked(self):
+        heap = PersistentHeap()
+        a = heap.alloc_words(2, label="bucket")
+        b = heap.alloc_words(2, label="bucket")
+        assert heap.region("bucket") == [a, b]
+        assert heap.region("other") == []
+
+    def test_in_data_region(self):
+        heap = PersistentHeap()
+        addr = heap.alloc(8)
+        assert heap.in_data_region(addr)
+        assert not heap.in_data_region(addr + 1024)
+
+    def test_used_bytes(self):
+        heap = PersistentHeap()
+        heap.alloc(64)
+        assert heap.used_bytes == 64
+
+
+class TestLogRegions:
+    def test_regions_are_disjoint_per_thread(self):
+        assert log_region_base(1) - log_region_base(0) == LOG_REGION_BYTES
+        assert log_region_base(0) == LOG_BASE
+
+    def test_negative_thread_rejected(self):
+        with pytest.raises(ValueError):
+            log_region_base(-1)
+
+    def test_is_log_address(self):
+        assert is_log_address(LOG_BASE)
+        assert is_log_address(LOG_BASE + 12345)
+        assert not is_log_address(DATA_BASE)
+
+    def test_thread_of_log_address(self):
+        assert thread_of_log_address(log_region_base(3) + 100) == 3
+        with pytest.raises(ValueError):
+            thread_of_log_address(DATA_BASE)
+
+    def test_log_region_above_data_region(self):
+        heap = PersistentHeap()
+        assert heap.limit <= LOG_BASE

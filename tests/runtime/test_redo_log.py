@@ -1,0 +1,188 @@
+"""Unit and integration tests for the redo-logging variant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import LoweringError, lower_fase, lower_program
+from repro.config import table3_config
+from repro.isa import Dfence, Fase, Ofence, PRead, PWrite, Sfence, St
+from repro.persistency import design_by_name
+from repro.runtime import (
+    DATA_BASE,
+    UndoLogLayout,
+    commit_word_addr,
+    recover_redo,
+    run_recovery,
+)
+from repro.runtime.undo_log import stamp_target
+from repro.system import build_system
+
+
+def persist_redo_log(image, thread_id, records, epoch=0, committed=True):
+    layout = UndoLogLayout(thread_id)
+    image[layout.epoch_addr] = epoch
+    if committed:
+        image[commit_word_addr(thread_id)] = epoch
+    for index, (target, new) in enumerate(records):
+        image[layout.entry_old_addr(index)] = new
+        image[layout.entry_target_addr(index)] = stamp_target(epoch, target)
+    return layout
+
+
+class TestRedoRecovery:
+    def test_committed_log_replays_forward(self):
+        image = {0x100: 0}
+        persist_redo_log(image, 0, [(0x100, 5), (0x108, 6)], epoch=2)
+        applied = recover_redo(image, 0)
+        assert image[0x100] == 5
+        assert image[0x108] == 6
+        assert len(applied) == 2
+
+    def test_replay_consumes_the_log(self):
+        image = {}
+        layout = persist_redo_log(image, 0, [(0x100, 5)], epoch=2)
+        recover_redo(image, 0)
+        assert image[layout.epoch_addr] == 3
+        # A second recovery is a no-op (commit word now stale).
+        assert recover_redo(image, 0) == []
+
+    def test_uncommitted_log_ignored(self):
+        """Crash before the commit word: in-place data never persisted,
+        so there is nothing to do."""
+        image = {0x100: 42}
+        persist_redo_log(image, 0, [(0x100, 5)], epoch=2, committed=False)
+        assert recover_redo(image, 0) == []
+        assert image[0x100] == 42
+
+    def test_forward_replay_last_write_wins(self):
+        image = {}
+        persist_redo_log(image, 0, [(0x100, 1), (0x100, 9)])
+        recover_redo(image, 0)
+        assert image[0x100] == 9
+
+    def test_stale_commit_word_ignored(self):
+        image = {0x100: 42}
+        layout = persist_redo_log(image, 0, [(0x100, 5)], epoch=4)
+        image[layout.epoch_addr] = 7  # commits since; log consumed
+        assert recover_redo(image, 0) == []
+
+    def test_log_targeting_log_region_rejected(self):
+        image = {}
+        layout = UndoLogLayout(0)
+        image[layout.epoch_addr] = 0
+        image[commit_word_addr(0)] = 0
+        image[layout.entry_old_addr(0)] = 1
+        image[layout.entry_target_addr(0)] = stamp_target(0, layout.base)
+        with pytest.raises(ValueError):
+            recover_redo(image, 0)
+
+    def test_run_recovery_dispatches_modes(self):
+        image = {}
+        persist_redo_log(image, 0, [(0x100, 5)])
+        report = run_recovery(image, 1, log_mode="redo")
+        assert report.image[0x100] == 5
+        with pytest.raises(ValueError):
+            run_recovery(image, 1, log_mode="write-behind")
+
+    @settings(max_examples=40)
+    @given(st.dictionaries(
+        st.integers(min_value=0x100, max_value=0x1F8).map(lambda a: a & ~7),
+        st.integers(min_value=1, max_value=2**32), min_size=1, max_size=8))
+    def test_replay_reaches_committed_state(self, new_state):
+        image = {addr: 0 for addr in new_state}
+        persist_redo_log(image, 0, list(new_state.items()), epoch=3)
+        recover_redo(image, 0)
+        for addr, value in new_state.items():
+            assert image[addr] == value
+
+
+class TestRedoLowering:
+    def fase(self):
+        return Fase(0, [PRead(DATA_BASE), PWrite(DATA_BASE, 5),
+                        PWrite(DATA_BASE + 64, 6)])
+
+    def test_x86_rejects_redo(self):
+        with pytest.raises(LoweringError):
+            lower_fase(self.fase(), 0, "x86", log_mode="redo")
+
+    def test_no_intra_fase_ordering_points(self):
+        """Redo under a FIFO channel: zero fences until the final one."""
+        for flavor in ("pmemspec", "hops", "strand"):
+            lowered = lower_fase(self.fase(), 0, flavor, log_mode="redo")
+            assert lowered.count(Ofence) == 0
+            assert lowered.count(Sfence) == 0
+            fences = lowered.count(Dfence) + sum(
+                1 for op in lowered.ops
+                if type(op).__name__ == "SpecBarrier")
+            assert fences == 1
+
+    def test_in_place_writes_volatile_until_commit(self):
+        lowered = lower_fase(self.fase(), 0, "pmemspec", log_mode="redo")
+        data_stores = [op for op in lowered.ops
+                       if isinstance(op, St) and op.kind == "data"]
+        # First two are the volatile in-place updates, then the replay.
+        assert [s.to_pm for s in data_stores] == [False, False, True, True]
+
+    def test_commit_word_precedes_replay(self):
+        lowered = lower_fase(self.fase(), 0, "pmemspec", log_mode="redo",
+                             epoch=4)
+        commits = [op for op in lowered.ops
+                   if isinstance(op, St) and op.kind == "commit"]
+        assert commits[0].addr == commit_word_addr(0)
+        assert commits[0].value == 4
+        assert commits[1].addr == UndoLogLayout(0).epoch_addr
+        assert commits[1].value == 5
+
+    def test_unknown_log_mode_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_fase(self.fase(), 0, "pmemspec", log_mode="maybe")
+
+    def test_lowered_fase_carries_mode(self):
+        program_fase = lower_fase(self.fase(), 0, "hops", log_mode="redo")
+        assert program_fase.log_mode == "redo"
+
+
+class TestRedoEndToEnd:
+    @pytest.mark.parametrize("design", ("PMEM-Spec", "HOPS", "StrandWeaver"))
+    def test_runs_and_durable_state_validates(self, design):
+        from repro.workloads import workload_by_name
+        workload = workload_by_name("hashmap", seed=7)
+        program = workload.build(2, 10)
+        system = build_system(program, design_by_name(design),
+                              table3_config(n_cores=2), log_mode="redo")
+        result = system.run()
+        assert result.fases_committed == 20
+        assert workload.validate_recovered(system.device.snapshot()) == []
+
+    def test_redo_replay_happens_outside_mid_fase_critical_sections(self):
+        """A protocol interaction the reproduction surfaces: redo defers
+        the persistent stores to commit-time replay, which runs *after*
+        a mid-FASE critical section has been exited -- so those replays
+        are untagged and the lock-carried happens-before order never
+        reaches the PM controller.  The probe that forces store
+        misspeculation under undo logging therefore cannot trigger (nor
+        need) detection under redo; the run must simply complete and
+        stay architecturally consistent.  A redo runtime on PMEM-Spec
+        would need commit-time locking (or tagged replays) to retain
+        inter-thread persist-order detection -- see DESIGN.md."""
+        from repro.workloads import StoreMisspecProbe
+        probe = StoreMisspecProbe(seed=1)
+        program = probe.build(2, 20)
+        system = build_system(program, design_by_name("PMEM-Spec"),
+                              StoreMisspecProbe.recommended_config(2),
+                              log_mode="redo")
+        system.persist_path.set_core_extra(
+            0, StoreMisspecProbe.slow_core_extra_cycles())
+        result = system.run()
+        assert result.fases_committed == 40
+        assert result.fases_aborted == 0
+        assert probe.validate_recovered(system.image.snapshot()) == []
+
+    def test_crash_sweep_under_redo(self):
+        from repro.runtime import crash_sweep
+        from repro.workloads import RBTree
+        outcomes = crash_sweep(RBTree, "PMEM-Spec", n_points=5,
+                               n_threads=2, fases_per_thread=8, seed=11,
+                               log_mode="redo")
+        assert all(outcome.consistent for outcome in outcomes)

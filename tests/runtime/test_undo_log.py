@@ -1,0 +1,188 @@
+"""Unit and property tests for the epoch-stamped undo log."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import UndoLog, UndoLogLayout, recover, recover_all
+from repro.runtime.undo_log import stamp_target, unpack_stamp
+
+
+def persist_log(image, thread_id, records, epoch=0):
+    """Write a log state (epoch + stamped entries) into a fake image."""
+    layout = UndoLogLayout(thread_id)
+    image[layout.epoch_addr] = epoch
+    for index, (target, old) in enumerate(records):
+        image[layout.entry_old_addr(index)] = old
+        image[layout.entry_target_addr(index)] = stamp_target(epoch, target)
+    return layout
+
+
+class TestStamping:
+    def test_roundtrip(self):
+        word = stamp_target(7, 0x1000_0040)
+        assert unpack_stamp(word) == (7, 0x1000_0040)
+
+    def test_epoch_zero_is_plain_address(self):
+        assert stamp_target(0, 0x40) == 0x40
+
+    def test_out_of_range_target_rejected(self):
+        with pytest.raises(ValueError):
+            stamp_target(0, 1 << 41)
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            stamp_target(-1, 0x40)
+
+    @given(st.integers(min_value=0, max_value=2**20),
+           st.integers(min_value=0, max_value=2**39))
+    def test_roundtrip_property(self, epoch, target):
+        assert unpack_stamp(stamp_target(epoch, target)) == (epoch, target)
+
+
+class TestLayout:
+    def test_epoch_separate_block_from_entries(self):
+        layout = UndoLogLayout(0)
+        assert layout.entry_old_addr(0) - layout.epoch_addr >= 64
+
+    def test_entry_stride(self):
+        layout = UndoLogLayout(0)
+        assert layout.entry_old_addr(1) - layout.entry_old_addr(0) == 16
+        assert layout.entry_target_addr(0) - layout.entry_old_addr(0) == 8
+
+    def test_out_of_range_entry_rejected(self):
+        layout = UndoLogLayout(0)
+        with pytest.raises(IndexError):
+            layout.entry_old_addr(layout.max_entries)
+        with pytest.raises(IndexError):
+            layout.entry_old_addr(-1)
+
+    def test_threads_have_disjoint_layouts(self):
+        l0, l1 = UndoLogLayout(0), UndoLogLayout(1)
+        assert l0.entry_old_addr(l0.max_entries - 1) < l1.epoch_addr
+
+
+class TestUndoLogBookkeeping:
+    def test_append_returns_indices(self):
+        log = UndoLog(0)
+        log.open_scope()
+        assert log.append(0x100, 1) == 0
+        assert log.append(0x108, 2) == 1
+
+    def test_rollback_order_newest_first(self):
+        log = UndoLog(0)
+        log.open_scope()
+        log.append(0x100, 1)
+        log.append(0x108, 2)
+        assert log.rollback_writes() == [(0x108, 2), (0x100, 1)]
+
+    def test_truncate_clears(self):
+        log = UndoLog(0)
+        log.open_scope()
+        log.append(0x100, 1)
+        log.truncate()
+        assert log.records == []
+        assert log.truncations == 1
+
+    def test_open_scope_resets(self):
+        log = UndoLog(0)
+        log.open_scope()
+        log.append(0x100, 1)
+        log.open_scope()
+        assert log.records == []
+
+
+class TestRecovery:
+    def test_committed_log_is_noop(self):
+        """After commit the epoch has advanced past the entries' stamps."""
+        image = {0x100: 42}
+        persist_log(image, 0, [(0x100, 7)], epoch=3)
+        layout = UndoLogLayout(0)
+        image[layout.epoch_addr] = 4  # commit bumped the epoch
+        applied = recover(image, 0)
+        assert applied == []
+        assert image[0x100] == 42
+
+    def test_uncommitted_log_rolls_back(self):
+        image = {0x100: 99, 0x108: 98}
+        persist_log(image, 0, [(0x100, 1), (0x108, 2)], epoch=5)
+        applied = recover(image, 0)
+        assert image[0x100] == 1
+        assert image[0x108] == 2
+        assert len(applied) == 2
+
+    def test_multiple_writes_same_addr_unwind_to_oldest(self):
+        image = {0x100: 50}
+        # FASE wrote 0x100 twice: first old value 1, then old value 10.
+        persist_log(image, 0, [(0x100, 1), (0x100, 10)])
+        recover(image, 0)
+        assert image[0x100] == 1
+
+    def test_missing_entry_ends_scan_soundly(self):
+        """A non-persisted entry fails its stamp check; the group ordering
+        guarantees its data did not persist either, so stopping is safe
+        -- entries before the gap still apply."""
+        image = {0x100: 99}
+        layout = persist_log(image, 0, [(0x100, 1)], epoch=2)
+        # Entry 1's stamped word never persisted (stale epoch from FASE 1).
+        image[layout.entry_old_addr(1)] = 77
+        image[layout.entry_target_addr(1)] = stamp_target(1, 0x108)
+        recover(image, 0)
+        assert image[0x100] == 1
+        assert image.get(0x108) is None
+
+    def test_stale_epoch_entries_ignored(self):
+        image = {0x100: 42}
+        layout = persist_log(image, 0, [(0x100, 7)], epoch=3)
+        image[layout.epoch_addr] = 9  # many commits later
+        assert recover(image, 0) == []
+        assert image[0x100] == 42
+
+    def test_negative_epoch_rejected(self):
+        image = {}
+        layout = UndoLogLayout(0)
+        image[layout.epoch_addr] = -2
+        with pytest.raises(ValueError):
+            recover(image, 0)
+
+    def test_entry_targeting_log_region_is_corruption(self):
+        image = {}
+        layout = persist_log(image, 0, [], epoch=0)
+        image[layout.entry_old_addr(0)] = 1
+        image[layout.entry_target_addr(0)] = stamp_target(0, layout.base)
+        with pytest.raises(ValueError):
+            recover(image, 0)
+
+    def test_recovery_is_idempotent(self):
+        """Recovery leaves entries live; running it again is harmless."""
+        image = {0x100: 99}
+        persist_log(image, 0, [(0x100, 1)])
+        recover(image, 0)
+        first = dict(image)
+        recover(image, 0)
+        assert image == first
+
+    def test_recover_all_runs_each_thread(self):
+        image = {0x100: 9, 0x200: 9}
+        persist_log(image, 0, [(0x100, 1)])
+        persist_log(image, 1, [(0x200, 2)])
+        applied = recover_all(image, 2)
+        assert image[0x100] == 1
+        assert image[0x200] == 2
+        assert set(applied) == {0, 1}
+
+    @settings(max_examples=50)
+    @given(st.dictionaries(
+        st.integers(min_value=0x100, max_value=0x1F8).map(lambda a: a & ~7),
+        st.integers(min_value=0, max_value=2**32), min_size=1, max_size=10),
+        st.integers(min_value=0, max_value=100))
+    def test_roundtrip_restores_pre_fase_state(self, pre_state, epoch):
+        """Property: log old values, clobber, recover => pre-FASE state."""
+        image = dict(pre_state)
+        records = [(addr, old) for addr, old in pre_state.items()]
+        persist_log(image, 0, records, epoch=epoch)
+        for addr in pre_state:
+            image[addr] = 0xDEAD  # partially-persisted new data
+        recover(image, 0)
+        for addr, old in pre_state.items():
+            assert image[addr] == old

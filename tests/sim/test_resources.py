@@ -1,0 +1,217 @@
+"""Unit tests for Mutex, TimelineResource, CapacityQueue."""
+
+import pytest
+
+from repro.sim import CapacityQueue, Environment, Mutex, TimelineResource
+
+
+class TestMutex:
+    def test_uncontended_acquire_immediate(self):
+        env = Environment()
+        lock = Mutex(env)
+        grants = []
+
+        def proc():
+            yield lock.acquire("t0")
+            grants.append(env.now)
+            lock.release("t0")
+
+        env.process(proc())
+        env.run()
+        assert grants == [0]
+        assert not lock.locked
+
+    def test_fifo_handoff(self):
+        env = Environment()
+        lock = Mutex(env)
+        order = []
+
+        def proc(tid, hold):
+            yield lock.acquire(tid)
+            order.append((tid, env.now))
+            yield env.timeout(hold)
+            lock.release(tid)
+
+        env.process(proc("a", 10))
+        env.process(proc("b", 5))
+        env.process(proc("c", 1))
+        env.run()
+        assert order == [("a", 0), ("b", 10), ("c", 15)]
+
+    def test_release_unlocked_raises(self):
+        env = Environment()
+        lock = Mutex(env)
+        with pytest.raises(RuntimeError):
+            lock.release()
+
+    def test_contention_counters(self):
+        env = Environment()
+        lock = Mutex(env)
+
+        def proc(tid):
+            yield lock.acquire(tid)
+            yield env.timeout(2)
+            lock.release(tid)
+
+        for tid in range(4):
+            env.process(proc(tid))
+        env.run()
+        assert lock.acquisitions == 4
+        assert lock.contended_acquisitions == 3
+
+    def test_queue_length_visible(self):
+        env = Environment()
+        lock = Mutex(env)
+        lock.acquire("holder")
+        lock.acquire("w1")
+        lock.acquire("w2")
+        assert lock.queue_length == 2
+
+
+class TestTimelineResource:
+    def test_serial_unit_serialises(self):
+        res = TimelineResource(width=1)
+        s1, f1 = res.reserve(0, 10)
+        s2, f2 = res.reserve(0, 10)
+        assert (s1, f1) == (0, 10)
+        assert (s2, f2) == (10, 20)
+
+    def test_idle_unit_starts_at_now(self):
+        res = TimelineResource()
+        res.reserve(0, 5)
+        start, finish = res.reserve(100, 5)
+        assert (start, finish) == (100, 105)
+
+    def test_width_allows_parallel_service(self):
+        res = TimelineResource(width=2)
+        assert res.reserve(0, 10)[0] == 0
+        assert res.reserve(0, 10)[0] == 0
+        assert res.reserve(0, 10)[0] == 10
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineResource().reserve(0, -1)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineResource(width=0)
+
+    def test_wait_accounting(self):
+        res = TimelineResource()
+        res.reserve(0, 10)
+        res.reserve(0, 10)
+        assert res.total_wait == 10
+        assert res.total_requests == 2
+        assert res.total_busy == 20
+
+    def test_utilization(self):
+        res = TimelineResource()
+        res.reserve(0, 50)
+        assert res.utilization(100) == pytest.approx(0.5)
+        assert res.utilization(0) == 0.0
+
+
+class TestCapacityQueue:
+    def test_accepts_until_full_without_stall(self):
+        q = CapacityQueue(capacity=4, drain_latency=100)
+        for _ in range(4):
+            accept, _finish = q.push(0)
+            assert accept == 0
+
+    def test_backpressure_when_full(self):
+        q = CapacityQueue(capacity=2, drain_latency=100)
+        q.push(0)   # drains at 100
+        q.push(0)   # drains at 200 (serial drain)
+        accept, _ = q.push(0)
+        assert accept == 100
+        assert q.stalled_pushes == 1
+        assert q.total_stall == 100
+
+    def test_entries_freed_over_time(self):
+        q = CapacityQueue(capacity=1, drain_latency=10)
+        q.push(0)
+        assert q.occupancy(5) == 1
+        assert q.occupancy(10) == 0
+        accept, _ = q.push(20)
+        assert accept == 20
+
+    def test_wide_drain_parallelism(self):
+        q = CapacityQueue(capacity=8, drain_latency=10, width=4)
+        finishes = [q.push(0)[1] for _ in range(8)]
+        assert sorted(finishes) == [10, 10, 10, 10, 20, 20, 20, 20]
+
+    def test_drain_complete_time(self):
+        q = CapacityQueue(capacity=8, drain_latency=10)
+        q.push(0)
+        q.push(0)
+        q.push(0)
+        assert q.drain_complete_time(0) == 30
+        assert q.drain_complete_time(35) == 35
+
+    def test_admission_time_when_empty(self):
+        q = CapacityQueue(capacity=2, drain_latency=10)
+        assert q.admission_time(7) == 7
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CapacityQueue(capacity=0, drain_latency=1)
+
+    def test_custom_service_time(self):
+        q = CapacityQueue(capacity=2, drain_latency=10)
+        _, finish = q.push(0, service=25)
+        assert finish == 25
+
+
+class TestOccupancyQueue:
+    def make(self, capacity=4):
+        from repro.sim.resources import OccupancyQueue
+        return OccupancyQueue(capacity=capacity)
+
+    def test_admits_until_full(self):
+        q = self.make(capacity=2)
+        assert q.push(0, completion=100) == 0
+        assert q.push(0, completion=200) == 0
+
+    def test_full_queue_waits_for_oldest_completion(self):
+        q = self.make(capacity=2)
+        q.push(0, completion=100)
+        q.push(0, completion=200)
+        assert q.push(0, completion=300) == 100
+        assert q.stalled_pushes == 1
+        assert q.total_stall == 100
+
+    def test_entries_complete_independently(self):
+        """No head-of-line blocking: a long entry must not delay short
+        ones (the store-queue feedback-loop regression)."""
+        q = self.make(capacity=3)
+        q.push(0, completion=1_000_000)
+        assert q.push(1, completion=5) == 1
+        assert q.push(2, completion=6) == 2
+        # Queue full: the OLDEST completion (5) gates admission.
+        assert q.push(3, completion=7) == 5
+
+    def test_occupancy_decays(self):
+        q = self.make()
+        q.push(0, completion=10)
+        q.push(0, completion=20)
+        assert q.occupancy(5) == 2
+        assert q.occupancy(15) == 1
+        assert q.occupancy(25) == 0
+
+    def test_drain_complete_time(self):
+        q = self.make()
+        q.push(0, completion=10)
+        q.push(0, completion=50)
+        assert q.drain_complete_time(0) == 50
+        assert q.drain_complete_time(60) == 60
+
+    def test_completion_never_before_push(self):
+        q = self.make()
+        q.push(100, completion=50)  # clamped to now
+        assert q.drain_complete_time(99) == 100
+
+    def test_invalid_capacity(self):
+        import pytest
+        from repro.sim.resources import OccupancyQueue
+        with pytest.raises(ValueError):
+            OccupancyQueue(capacity=0)

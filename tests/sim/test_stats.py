@@ -1,0 +1,125 @@
+"""Unit and property tests for statistics containers."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Counter, Histogram, RunningStat, geomean
+
+
+class TestCounter:
+    def test_default_zero(self):
+        c = Counter()
+        assert c["missing"] == 0
+        assert "missing" not in c
+
+    def test_add_and_read(self):
+        c = Counter()
+        c.add("loads")
+        c.add("loads", 4)
+        assert c["loads"] == 5
+        assert "loads" in c
+
+    def test_merge(self):
+        a, b = Counter(), Counter()
+        a.add("x", 2)
+        b.add("x", 3)
+        b.add("y", 1)
+        a.merge(b)
+        assert a.as_dict() == {"x": 5, "y": 1}
+
+    def test_repr_sorted(self):
+        c = Counter()
+        c.add("b")
+        c.add("a")
+        assert repr(c) == "Counter(a=1, b=1)"
+
+
+class TestRunningStat:
+    def test_empty(self):
+        s = RunningStat()
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_known_values(self):
+        s = RunningStat()
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            s.record(v)
+        assert s.mean == pytest.approx(5.0)
+        assert s.stddev == pytest.approx(2.0)
+        assert s.minimum == 2.0
+        assert s.maximum == 9.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_matches_statistics_module(self, values):
+        s = RunningStat()
+        for v in values:
+            s.record(v)
+        assert s.mean == pytest.approx(statistics.fmean(values), abs=1e-6)
+        assert s.count == len(values)
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram(bucket_width=10, max_buckets=4)
+        for v in [0, 5, 15, 100]:
+            h.record(v)
+        assert h.buckets[0] == 2
+        assert h.buckets[1] == 1
+        assert h.overflow == 1
+        assert h.count == 4
+
+    def test_percentile_midpoint(self):
+        h = Histogram(bucket_width=10, max_buckets=10)
+        for _ in range(100):
+            h.record(12)
+        assert h.percentile(0.5) == pytest.approx(15.0)
+
+    def test_percentile_bounds_checked(self):
+        h = Histogram(bucket_width=1)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_empty_percentile_zero(self):
+        assert Histogram(bucket_width=1).percentile(0.9) == 0.0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            Histogram(bucket_width=0)
+
+
+class TestGeomean:
+    def test_known(self):
+        assert geomean([1, 4, 16]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1,
+                    max_size=50))
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1,
+                    max_size=20), st.floats(min_value=0.1, max_value=10.0))
+    def test_scale_invariance(self, values, k):
+        scaled = geomean([v * k for v in values])
+        assert scaled == pytest.approx(geomean(values) * k, rel=1e-6)
+
+    def test_log_identity(self):
+        values = [2.0, 8.0, 32.0]
+        assert math.log(geomean(values)) == pytest.approx(
+            sum(math.log(v) for v in values) / 3)

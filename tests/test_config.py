@@ -1,0 +1,61 @@
+"""Unit tests for the Table 3 configuration."""
+
+import pytest
+
+from repro.config import SystemConfig, table3_config
+
+
+class TestSystemConfig:
+    def test_ns_conversion_at_2ghz(self):
+        config = table3_config()
+        assert config.ns(1.0) == 2
+        assert config.ns(20.0) == 40
+        assert config.ns(175.0) == 350
+        assert config.ns(0.0) == 0
+
+    def test_ns_rounds(self):
+        assert table3_config().ns(0.6) == 1
+
+    def test_cycle_ns(self):
+        assert table3_config().cycle_ns == pytest.approx(0.5)
+
+    def test_speculation_window_is_cores_times_path(self):
+        # §8.1: 8 cores x 20 ns = 160 ns = 320 cycles.
+        assert table3_config(n_cores=8).speculation_window_cycles == 320
+        assert table3_config(n_cores=16).speculation_window_cycles == 640
+
+    def test_cache_geometry(self):
+        config = table3_config()
+        assert config.l1_sets == 64 * 1024 // (64 * 4)
+        assert config.l2_sets == 16 * 1024 * 1024 // (64 * 16)
+
+    def test_with_overrides_is_a_copy(self):
+        base = table3_config()
+        other = base.with_overrides(n_cores=64)
+        assert other.n_cores == 64
+        assert base.n_cores == 8
+
+    def test_validation_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            table3_config(n_cores=0)
+        with pytest.raises(ValueError):
+            table3_config(spec_buffer_entries=0)
+        with pytest.raises(ValueError):
+            table3_config(pm_read_ns=-1.0)
+        with pytest.raises(ValueError):
+            SystemConfig(l1_size_bytes=64, l1_ways=4).validate()
+
+    def test_table3_defaults_match_paper(self):
+        config = table3_config()
+        assert config.n_cores == 8
+        assert config.rob_entries == 192
+        assert config.store_queue_entries == 32
+        assert config.l1_hit_ns == 2.0
+        assert config.l2_hit_ns == 20.0
+        assert config.pmc_read_queue == 32
+        assert config.pmc_write_queue == 64
+        assert config.spec_buffer_entries == 4
+        assert config.pm_read_ns == 175.0
+        assert config.pm_write_ns == 94.0
+        assert config.persist_path_ns == 20.0
+        assert config.l1_to_pmc_ns == 11.0

@@ -1,0 +1,149 @@
+"""Property tests: the persistent red-black tree against a set oracle.
+
+The RB-tree workload generates real tree mutations; these tests drive
+the same :class:`_TreeView` machinery with hypothesis-chosen operation
+sequences and check, after *every* operation, that (a) the tree contains
+exactly the oracle's keys, (b) every red-black invariant holds."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.rbtree import (
+    BLACK,
+    COLOR,
+    KEY,
+    LEFT,
+    NIL,
+    RED,
+    RIGHT,
+    PARENT,
+    RBTree,
+    _SilentRecorder,
+    _TreeView,
+)
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]),
+              st.integers(min_value=0, max_value=40)),
+    min_size=1, max_size=120)
+
+
+class OracleHarness:
+    """A tree over a plain dict image + a Python-set oracle."""
+
+    def __init__(self):
+        self.image = {0: NIL}          # root pointer at address 0
+        self.view = _TreeView(_SilentRecorder(self.image), 0)
+        self.oracle = set()
+        self.nodes = {}                # key -> node address
+        self._next_node = 0x1000
+
+    def insert(self, key):
+        if key in self.oracle:
+            return
+        node = self._next_node
+        self._next_node += 0x100
+        self.view.insert(node, key)
+        self.nodes[key] = node
+        self.oracle.add(key)
+
+    def delete(self, key):
+        if key not in self.oracle:
+            return
+        node = self.view.find(key)
+        assert node == self.nodes[key]
+        self.view.delete(node)
+        del self.nodes[key]
+        self.oracle.discard(key)
+
+    # ------------------------------------------------------------ checking
+
+    def inorder_keys(self):
+        keys = []
+
+        def walk(node):
+            if node == NIL:
+                return
+            walk(self.image.get(node + LEFT * 8, NIL))
+            keys.append(self.image.get(node + KEY * 8))
+            walk(self.image.get(node + RIGHT * 8, NIL))
+
+        walk(self.image.get(0, NIL))
+        return keys
+
+    def check_invariants(self):
+        root = self.image.get(0, NIL)
+        if root == NIL:
+            assert not self.oracle
+            return
+        assert self.image.get(root + COLOR * 8, BLACK) == BLACK, "red root"
+        black_heights = set()
+
+        def walk(node, lo, hi, black):
+            if node == NIL:
+                black_heights.add(black)
+                return
+            key = self.image.get(node + KEY * 8)
+            color = self.image.get(node + COLOR * 8, BLACK)
+            left = self.image.get(node + LEFT * 8, NIL)
+            right = self.image.get(node + RIGHT * 8, NIL)
+            assert lo is None or key > lo, "BST order"
+            assert hi is None or key < hi, "BST order"
+            for child in (left, right):
+                if child != NIL:
+                    assert self.image.get(child + PARENT * 8) == node, \
+                        "parent pointer"
+                    if color == RED:
+                        assert self.image.get(
+                            child + COLOR * 8, BLACK) == BLACK, "red-red"
+            extra = 1 if color == BLACK else 0
+            walk(left, lo, key, black + extra)
+            walk(right, key, hi, black + extra)
+
+        walk(root, None, None, 0)
+        assert len(black_heights) == 1, "black-height balance"
+
+
+class TestRBTreeAgainstOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(ops_strategy)
+    def test_contents_and_invariants_after_every_op(self, ops):
+        harness = OracleHarness()
+        for kind, key in ops:
+            if kind == "insert":
+                harness.insert(key)
+            else:
+                harness.delete(key)
+            assert harness.inorder_keys() == sorted(harness.oracle)
+            harness.check_invariants()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=200),
+                    min_size=1, max_size=80, unique=True))
+    def test_insert_all_delete_all(self, keys):
+        harness = OracleHarness()
+        for key in keys:
+            harness.insert(key)
+        assert harness.inorder_keys() == sorted(keys)
+        for key in keys:
+            harness.delete(key)
+        assert harness.inorder_keys() == []
+        assert harness.image.get(0, NIL) == NIL
+
+    def test_find_miss_returns_nil(self):
+        harness = OracleHarness()
+        harness.insert(5)
+        assert harness.view.find(99) == NIL
+
+    @settings(max_examples=20, deadline=None)
+    @given(ops_strategy)
+    def test_workload_validator_agrees_with_oracle_checker(self, ops):
+        """The workload's crash validator must accept every state the
+        oracle checker accepts."""
+        harness = OracleHarness()
+        for kind, key in ops:
+            getattr(harness, kind)(key)
+        workload = RBTree(seed=0)
+        workload.roots = [0]
+        workload.n_threads = 1
+        assert workload.validate_recovered(harness.image) == []
