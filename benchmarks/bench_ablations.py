@@ -25,9 +25,10 @@ SCALE = 0.5
 SEED = 42
 
 
-def test_lazy_vs_eager(benchmark, run_once):
+def test_lazy_vs_eager(benchmark, run_once, executor):
     out = run_once(benchmark,
-                   lambda: lazy_vs_eager_recovery(scale=SCALE, seed=SEED))
+                   lambda: lazy_vs_eager_recovery(scale=SCALE, seed=SEED,
+                                                  executor=executor))
     print("\n" + format_series(out, "mode", "outcome",
                                "Ablation: lazy vs eager recovery"))
     assert out["lazy"]["commits"] == out["eager"]["commits"]
@@ -35,9 +36,10 @@ def test_lazy_vs_eager(benchmark, run_once):
     assert out["eager"]["store_misspec"] > 0
 
 
-def test_naive_tagging_cost(benchmark, run_once):
+def test_naive_tagging_cost(benchmark, run_once, executor):
     out = run_once(benchmark,
-                   lambda: naive_tagging_ablation(scale=SCALE, seed=SEED))
+                   lambda: naive_tagging_ablation(scale=SCALE, seed=SEED,
+                                                  executor=executor))
     print("\n" + format_series(
         {name: {"slowdown": row["slowdown"],
                 "naive_overflows": row["naive_overflows"]}
@@ -70,14 +72,15 @@ def test_write_allocate_fetches_never_monitored():
         + spec_stats.get("in_persist", 0))
 
 
-def test_undo_vs_redo(benchmark, run_once):
+def test_undo_vs_redo(benchmark, run_once, executor):
     """Redo logging removes every intra-FASE ordering point on the
     FIFO-channel designs; on HOPS (whose undo lowering pays an ofence
     per log group) it should never lose, and commit-time replay costs
     it some extra stores."""
     from repro.harness import undo_vs_redo_ablation
     out = run_once(benchmark,
-                   lambda: undo_vs_redo_ablation(scale=SCALE, seed=SEED))
+                   lambda: undo_vs_redo_ablation(scale=SCALE, seed=SEED,
+                                                 executor=executor))
     print("\n" + format_series(
         {name: {key: value for key, value in row.items()
                 if key.endswith("speedup")}

@@ -23,10 +23,10 @@ SEED = 42
 CORES = (16, 32)
 
 
-def test_figure10(benchmark, run_once):
+def test_figure10(benchmark, run_once, executor):
     results = run_once(benchmark,
                        lambda: figure10(core_counts=CORES, scale=SCALE,
-                                        seed=SEED))
+                                        seed=SEED, executor=executor))
     for count, rows in results.items():
         print("\n" + format_normalized_table(
             rows, DESIGNS, f"Figure 10: {count}-core system"))

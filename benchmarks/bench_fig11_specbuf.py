@@ -17,10 +17,10 @@ SCALE = 0.6
 SEED = 42
 
 
-def test_figure11(benchmark, run_once):
+def test_figure11(benchmark, run_once, executor):
     series = run_once(benchmark,
                       lambda: figure11(buffer_sizes=SIZES, scale=SCALE,
-                                       seed=SEED))
+                                       seed=SEED, executor=executor))
     print("\n" + format_series(
         series, "entries", "throughput vs 16-entry",
         "Figure 11: speculation-buffer size sensitivity"))

@@ -18,10 +18,11 @@ SCALE = 0.3
 SEED = 42
 
 
-def test_figure12(benchmark, run_once):
+def test_figure12(benchmark, run_once, executor):
     series = run_once(benchmark,
                       lambda: figure12(latencies_ns=LATENCIES,
-                                       scale=SCALE, seed=SEED))
+                                       scale=SCALE, seed=SEED,
+                                       executor=executor))
     print("\n" + format_series(
         series, "persist-path ns", "geomean vs IntelX86",
         "Figure 12: persist-path latency sensitivity"))

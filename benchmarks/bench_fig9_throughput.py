@@ -18,9 +18,10 @@ SCALE = 0.5
 SEED = 42
 
 
-def test_figure9(benchmark, run_once):
+def test_figure9(benchmark, run_once, executor):
     rows = run_once(benchmark,
-                    lambda: figure9(n_threads=8, scale=SCALE, seed=SEED))
+                    lambda: figure9(n_threads=8, scale=SCALE, seed=SEED,
+                                    executor=executor))
     print("\n" + format_normalized_table(
         rows, DESIGNS, "Figure 9: normalised throughput (8 cores)"))
 

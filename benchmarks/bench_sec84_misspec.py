@@ -15,9 +15,10 @@ SCALE = 0.5
 SEED = 42
 
 
-def test_misspeculation_rates(benchmark, run_once):
+def test_misspeculation_rates(benchmark, run_once, executor):
     rows = run_once(benchmark,
-                    lambda: misspeculation_rates(scale=SCALE, seed=SEED))
+                    lambda: misspeculation_rates(scale=SCALE, seed=SEED,
+                                                 executor=executor))
     print("\n" + format_misspec_table(
         rows, "Section 8.4: misspeculation rates"))
     by_key = {(row["workload"], row["config"]): row for row in rows}

@@ -15,10 +15,11 @@ SCALE = 0.4
 SEED = 42
 
 
-def test_five_design_comparison(benchmark, run_once):
+def test_five_design_comparison(benchmark, run_once, executor):
     rows = run_once(benchmark,
                     lambda: figure9(n_threads=4, scale=SCALE, seed=SEED,
-                                    designs=DESIGNS, benchmarks=BENCHES))
+                                    designs=DESIGNS, benchmarks=BENCHES,
+                                    executor=executor))
     print("\n" + format_normalized_table(
         rows, DESIGNS,
         "Extension: five designs incl. StrandWeaver (4 cores)"))

@@ -6,9 +6,18 @@ repro.harness``).  Simulation runs are seconds long, so every bench
 uses ``benchmark.pedantic`` with one round -- the timing shown is the
 cost of regenerating the figure, and the assertions in each bench check
 the figure's qualitative *shape* against the paper.
+
+Figure-level benches share one :class:`repro.harness.ParallelExecutor`
+via the ``executor`` fixture: ``REPRO_BENCH_JOBS`` picks the worker
+count (default: all cores) and ``REPRO_BENCH_CACHE_DIR`` opts into the
+per-spec result cache (off by default, so timings stay honest).
 """
 
+import os
+
 import pytest
+
+from repro.harness import ParallelExecutor
 
 
 def once(benchmark, fn):
@@ -19,3 +28,10 @@ def once(benchmark, fn):
 @pytest.fixture
 def run_once():
     return once
+
+
+@pytest.fixture
+def executor():
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or None
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+    return ParallelExecutor(jobs=jobs, cache_dir=cache_dir)

@@ -33,6 +33,13 @@ from .runner import (
     normalized_throughput,
     run_benchmark,
 )
+from .sweep import (
+    ParallelExecutor,
+    RunSpec,
+    Sweep,
+    SweepError,
+    SweepResult,
+)
 
 __all__ = [
     "BASELINE", "diff_artifacts", "load_artifact", "save_artifact", "BENCHMARK_ORDER", "DESIGNS", "compare_designs",
@@ -41,6 +48,7 @@ __all__ = [
     "format_normalized_table", "format_series", "format_table3",
     "figure2_annotation_burden", "full_comparison",
     "lazy_vs_eager_recovery", "misspeculation_rates",
+    "ParallelExecutor", "RunSpec", "Sweep", "SweepError", "SweepResult",
     "undo_vs_redo_ablation",
     "naive_tagging_ablation", "normalized_throughput", "run_benchmark",
     "table3_rows",

@@ -3,19 +3,27 @@
 Usage::
 
     python -m repro.harness table3
-    python -m repro.harness fig9  [--scale 1.0] [--threads 8]
+    python -m repro.harness fig9  [--scale 1.0] [--threads 8] [--jobs 4]
     python -m repro.harness fig10 [--scale 0.5] [--cores 16,32,64]
     python -m repro.harness fig11 [--scale 1.0]
     python -m repro.harness fig12 [--scale 1.0]
     python -m repro.harness misspec
     python -m repro.harness ablations
-    python -m repro.harness all   [--scale 0.5]
+    python -m repro.harness all   [--scale 0.5] [--jobs 0]
+
+``--jobs N`` fans the experiment grid out over N worker processes
+(``0`` = all cores).  Results are cached per grid cell (keyed by a
+content hash of the resolved run spec) so re-running an unchanged
+figure is free; ``--no-cache`` disables the cache and ``--cache-dir``
+relocates it.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
 import time
 
 from .configs import DESIGNS, format_table3
@@ -60,7 +68,8 @@ def cmd_table3(args) -> None:
 
 def cmd_fig9(args) -> None:
     rows = _timed("fig9", lambda: figure9(n_threads=args.threads,
-                                          scale=args.scale, seed=args.seed))
+                                          scale=args.scale, seed=args.seed,
+                                          executor=args.executor))
     _maybe_save(args, "fig9", rows)
     print(format_normalized_table(
         rows, DESIGNS,
@@ -78,7 +87,8 @@ def cmd_fig10(args) -> None:
     cores = [int(c) for c in args.cores.split(",")]
     results = _timed("fig10", lambda: figure10(core_counts=cores,
                                                scale=args.scale,
-                                               seed=args.seed))
+                                               seed=args.seed,
+                                               executor=args.executor))
     _maybe_save(args, "fig10", results)
     for count, rows in results.items():
         print(format_normalized_table(
@@ -92,7 +102,8 @@ def cmd_fig10(args) -> None:
 
 def cmd_fig11(args) -> None:
     series = _timed("fig11", lambda: figure11(scale=args.scale,
-                                              seed=args.seed))
+                                              seed=args.seed,
+                                              executor=args.executor))
     _maybe_save(args, "fig11", series)
     print(format_series(
         series, "buffer entries", "throughput vs 16-entry",
@@ -101,7 +112,8 @@ def cmd_fig11(args) -> None:
 
 def cmd_fig12(args) -> None:
     series = _timed("fig12", lambda: figure12(scale=args.scale,
-                                              seed=args.seed))
+                                              seed=args.seed,
+                                              executor=args.executor))
     _maybe_save(args, "fig12", series)
     print(format_series(
         series, "persist-path ns", "geomean vs IntelX86",
@@ -110,7 +122,7 @@ def cmd_fig12(args) -> None:
 
 def cmd_misspec(args) -> None:
     rows = _timed("misspec", lambda: misspeculation_rates(
-        scale=args.scale, seed=args.seed))
+        scale=args.scale, seed=args.seed, executor=args.executor))
     _maybe_save(args, "misspec", {"rows": rows})
     print(format_misspec_table(
         rows, "Section 8.4: misspeculation rates under PMEM-Spec"))
@@ -126,12 +138,13 @@ def cmd_fig2(args) -> None:
 def cmd_ablations(args) -> None:
     recovery = _timed("lazy-vs-eager",
                       lambda: lazy_vs_eager_recovery(scale=args.scale,
-                                                     seed=args.seed))
+                                                     seed=args.seed,
+                                                     executor=args.executor))
     print(format_series(recovery, "recovery mode", "outcome",
                         "Ablation: lazy vs eager recovery (§6.2)"))
     print()
     tagging = _timed("tagging", lambda: naive_tagging_ablation(
-        scale=args.scale, seed=args.seed))
+        scale=args.scale, seed=args.seed, executor=args.executor))
     print(format_series(
         {name: {"slowdown_naive": row["slowdown"],
                 "naive_overflows": row["naive_overflows"]}
@@ -140,7 +153,7 @@ def cmd_ablations(args) -> None:
         "Ablation: spec-tagging without escape analysis (§5.2.2)"))
     print()
     redo = _timed("undo-vs-redo", lambda: undo_vs_redo_ablation(
-        scale=args.scale, seed=args.seed))
+        scale=args.scale, seed=args.seed, executor=args.executor))
     print(format_series(
         {name: {key: value for key, value in row.items()
                 if key.endswith("speedup")}
@@ -150,12 +163,12 @@ def cmd_ablations(args) -> None:
 
 
 def cmd_run(args) -> None:
-    from .runner import run_benchmark
+    from .sweep import RunSpec
+    spec = RunSpec(benchmark=args.benchmark, design=args.design,
+                   n_threads=args.threads, seed=args.seed)
     result = _timed(
         f"{args.benchmark}/{args.design}",
-        lambda: run_benchmark(args.benchmark, args.design,
-                              n_threads=args.threads,
-                              seed=args.seed))
+        lambda: args.executor.run(spec)[0])
     if args.json:
         print(result.to_json())
         return
@@ -222,8 +235,35 @@ def main(argv=None) -> int:
                         help="emit JSON (run command)")
     parser.add_argument("--save", default=None, metavar="DIR",
                         help="also write the experiment's data as JSON")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the experiment grid "
+                             "(0 = all cores; default 1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the per-spec result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result-cache directory (default: "
+                             "<tmpdir>/repro-harness-cache)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print one line per completed grid cell")
     args = parser.parse_args(argv)
-    COMMANDS[args.experiment](args)
+    from .sweep import ParallelExecutor
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or os.path.join(
+            tempfile.gettempdir(), "repro-harness-cache")
+    args.executor = ParallelExecutor(
+        jobs=args.jobs if args.jobs > 0 else None,
+        cache_dir=cache_dir,
+        progress=(lambda line: print(line, file=sys.stderr))
+        if args.progress else None)
+    try:
+        COMMANDS[args.experiment](args)
+    except ValueError as exc:
+        # Bad spec inputs (unknown design/benchmark, config mismatch)
+        # are user errors, not crashes.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -25,14 +25,20 @@ def _normalise(obj):
 
 def save_artifact(directory: str, name: str, payload,
                   meta: Dict = None) -> str:
-    """Write ``<directory>/<name>.json``; returns the path."""
+    """Write ``<directory>/<name>.json``; returns the path.
+
+    The write is atomic (temp file + rename) so concurrent executors
+    sharing a result-cache directory never observe a torn artifact.
+    """
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"{name}.json")
     document = {"experiment": name, "meta": _normalise(meta or {}),
                 "data": _normalise(payload)}
-    with open(path, "w") as handle:
+    staging = f"{path}.tmp.{os.getpid()}"
+    with open(staging, "w") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    os.replace(staging, path)
     return path
 
 

@@ -1,31 +1,61 @@
-"""Single-run and comparison drivers used by every experiment."""
+"""Legacy single-run and comparison drivers (deprecated shims).
+
+Every entry point here predates the declarative sweep API and now
+delegates to :class:`repro.harness.sweep.RunSpec` /
+:class:`repro.harness.sweep.ParallelExecutor` with ``jobs=1``, emitting
+a :class:`DeprecationWarning`.  New code should build a
+:class:`~repro.harness.sweep.Sweep` and run it through an executor --
+that path parallelises, caches, and validates its inputs.
+
+Only :func:`normalized_throughput` remains first-class: it is a pure
+post-processing helper with no overlapping call shape.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, Optional
 
 from ..config import SystemConfig
-from ..persistency import design_by_name
-from ..system import SimResult, build_system
-from ..workloads import workload_by_name
-from .configs import BASELINE, BENCHMARK_ORDER, DESIGNS, default_config
+from ..system import SimResult
+from .configs import BASELINE, BENCHMARK_ORDER, DESIGNS
+from .sweep import ParallelExecutor, RunSpec, Sweep
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name}() is deprecated; build a repro.harness.RunSpec/Sweep and "
+        f"run it through ParallelExecutor instead",
+        DeprecationWarning, stacklevel=3)
+
+
+def _reconcile_config(config: Optional[SystemConfig], n_threads: int,
+                      caller: str) -> Optional[SystemConfig]:
+    """Old behaviour: silently rewrite config.n_cores to n_threads.
+    RunSpec refuses that, so the shim warns loudly before rewriting."""
+    if config is not None and config.n_cores != n_threads:
+        warnings.warn(
+            f"{caller}: config.n_cores={config.n_cores} disagrees with "
+            f"n_threads={n_threads}; rewriting n_cores to match.  "
+            f"RunSpec raises ValueError on this mismatch -- pass a "
+            f"config built for {n_threads} cores.",
+            UserWarning, stacklevel=4)
+        return config.with_overrides(n_cores=n_threads)
+    return config
 
 
 def run_benchmark(benchmark: str, design: str, n_threads: int = 8,
                   fases_per_thread: Optional[int] = None, seed: int = 42,
                   config: Optional[SystemConfig] = None,
                   recovery_mode: str = "lazy") -> SimResult:
-    """Run one (benchmark, design) pair to completion."""
-    workload = workload_by_name(benchmark, seed=seed)
-    if fases_per_thread is None:
-        fases_per_thread = workload.default_fases
-    program = workload.build(n_threads, fases_per_thread)
-    cfg = config or default_config(n_cores=n_threads)
-    if cfg.n_cores != n_threads:
-        cfg = cfg.with_overrides(n_cores=n_threads)
-    system = build_system(program, design_by_name(design), cfg,
-                          recovery_mode=recovery_mode)
-    return system.run()
+    """Deprecated: run one (benchmark, design) pair to completion."""
+    _deprecated("run_benchmark")
+    spec = RunSpec(benchmark=benchmark, design=design, n_threads=n_threads,
+                   fases_per_thread=fases_per_thread, seed=seed,
+                   config=_reconcile_config(config, n_threads,
+                                            "run_benchmark"),
+                   recovery_mode=recovery_mode)
+    return ParallelExecutor(jobs=1).run(spec)[0]
 
 
 def compare_designs(benchmark: str, designs: Iterable[str] = DESIGNS,
@@ -33,10 +63,16 @@ def compare_designs(benchmark: str, designs: Iterable[str] = DESIGNS,
                     fases_per_thread: Optional[int] = None, seed: int = 42,
                     config: Optional[SystemConfig] = None
                     ) -> Dict[str, SimResult]:
-    """Run one benchmark under several designs (same workload seed)."""
-    return {design: run_benchmark(benchmark, design, n_threads,
-                                  fases_per_thread, seed, config)
-            for design in designs}
+    """Deprecated: one benchmark under several designs (same seed)."""
+    _deprecated("compare_designs")
+    config = _reconcile_config(config, n_threads, "compare_designs")
+    sweep = Sweep([RunSpec(benchmark=benchmark, design=design,
+                           n_threads=n_threads,
+                           fases_per_thread=fases_per_thread, seed=seed,
+                           config=config)
+                   for design in designs], name="compare_designs")
+    done = ParallelExecutor(jobs=1).run(sweep)
+    return {spec.design: result for spec, result in done}
 
 
 def normalized_throughput(results: Dict[str, SimResult],
@@ -55,7 +91,17 @@ def full_comparison(n_threads: int = 8,
                     benchmarks: Iterable[str] = BENCHMARK_ORDER,
                     designs: Iterable[str] = DESIGNS
                     ) -> Dict[str, Dict[str, SimResult]]:
-    """Every benchmark under every design: the Figure 9/10 grid."""
-    return {benchmark: compare_designs(benchmark, designs, n_threads,
-                                       fases_per_thread, seed, config)
-            for benchmark in benchmarks}
+    """Deprecated: every benchmark under every design (Fig 9/10 grid)."""
+    _deprecated("full_comparison")
+    config = _reconcile_config(config, n_threads, "full_comparison")
+    sweep = Sweep([RunSpec(benchmark=benchmark, design=design,
+                           n_threads=n_threads,
+                           fases_per_thread=fases_per_thread, seed=seed,
+                           config=config)
+                   for benchmark in benchmarks for design in designs],
+                  name="full_comparison")
+    done = ParallelExecutor(jobs=1).run(sweep)
+    out: Dict[str, Dict[str, SimResult]] = {}
+    for spec, result in done:
+        out.setdefault(spec.benchmark, {})[spec.design] = result
+    return out

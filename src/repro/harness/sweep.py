@@ -1,0 +1,524 @@
+"""Declarative experiment sweeps and the parallel executor.
+
+This module is the single request surface for every simulation the
+harness runs.  A :class:`RunSpec` names one cell of the paper's
+evaluation grid -- benchmark, design, thread count, FASE count, seed,
+configuration -- and a :class:`Sweep` is an ordered collection of specs
+(usually a cartesian grid).  :class:`ParallelExecutor` turns a sweep
+into a :class:`SweepResult`:
+
+* specs fan out over a ``multiprocessing`` pool (``jobs > 1``) while
+  results always come back in sweep order, so ``jobs=1`` and ``jobs=N``
+  produce bit-identical payloads;
+* each spec's result is cached on disk (one artifact JSON per spec,
+  keyed by a content hash of the resolved spec), so re-running an
+  unchanged sweep is free;
+* a spec whose worker dies is retried serially in the parent; only if
+  the serial retry fails too does the executor raise, with the worker
+  traceback attached.
+
+Per-spec wall-clock timing and cache provenance land in
+``SimResult.stats["executor"]``; that section is host-specific and is
+deliberately excluded from ``SimResult.to_dict()`` so serialised
+results stay deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..config import SystemConfig
+from ..persistency import design_by_name
+from ..system import RESULT_SCHEMA_VERSION, SimResult, build_system
+from ..workloads import (
+    BENCHMARKS,
+    LoadMisspecProbe,
+    StoreMisspecProbe,
+)
+from .artifacts import load_artifact, save_artifact
+from .configs import default_config
+
+# Synthetic §8.4 probes are runnable through the sweep API even though
+# they are not Table 4 benchmarks.
+PROBES = {
+    LoadMisspecProbe.name: LoadMisspecProbe,
+    StoreMisspecProbe.name: StoreMisspecProbe,
+}
+
+
+def _workload_class(name: str):
+    if name in BENCHMARKS:
+        return BENCHMARKS[name]
+    if name in PROBES:
+        return PROBES[name]
+    raise ValueError(
+        f"unknown benchmark {name!r}; choose from "
+        f"{sorted(BENCHMARKS) + sorted(PROBES)}")
+
+
+# --------------------------------------------------------------- RunSpec
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation request: a single cell of an evaluation grid.
+
+    ``config`` is the *base* configuration (default: Table 3 with
+    ``n_threads`` cores); ``config_overrides`` are field replacements
+    applied on top of it (``spec_buffer_entries``, ``persist_path_ns``,
+    ``extra``, ...).  The resolved configuration's ``n_cores`` MUST
+    equal ``n_threads`` -- threads are pinned 1:1 to cores and the old
+    ``run_benchmark`` behaviour of silently rewriting a caller-supplied
+    config is a bug this class refuses to reproduce.  Pass a matching
+    config, or override ``n_cores`` explicitly.
+
+    ``label`` is a free-form tag carried through to results (used by
+    the misspeculation/ablation tables); it does not affect the cache
+    key.
+    """
+
+    benchmark: str
+    design: str
+    n_threads: int = 8
+    fases_per_thread: Optional[int] = None
+    seed: int = 42
+    config: Optional[SystemConfig] = None
+    config_overrides: Mapping[str, object] = field(default_factory=dict)
+    recovery_mode: str = "lazy"
+    log_mode: str = "undo"
+    # (core_id, extra_cycles) applied to the persist path after build --
+    # the §8.4 congested-ring probe and the recovery ablation use this.
+    core_extra_cycles: Optional[Tuple[int, int]] = None
+    label: str = ""
+
+    def __post_init__(self):
+        self.validate()
+
+    # ------------------------------------------------------- validation
+
+    def validate(self) -> None:
+        _workload_class(self.benchmark)
+        try:
+            design_by_name(self.design)
+        except KeyError as exc:
+            raise ValueError(str(exc)) from None
+        if self.n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        if self.fases_per_thread is not None and self.fases_per_thread < 1:
+            raise ValueError("fases_per_thread must be >= 1")
+        if self.recovery_mode not in ("lazy", "eager"):
+            raise ValueError(f"unknown recovery_mode {self.recovery_mode!r}")
+        if self.log_mode not in ("undo", "redo"):
+            raise ValueError(f"unknown log_mode {self.log_mode!r}")
+        cfg = self.resolved_config()
+        if cfg.n_cores != self.n_threads:
+            raise ValueError(
+                f"config.n_cores={cfg.n_cores} disagrees with "
+                f"n_threads={self.n_threads}: threads are pinned 1:1 to "
+                f"cores.  Pass a config built for {self.n_threads} cores "
+                f"(or add n_cores={self.n_threads} to config_overrides); "
+                f"RunSpec never rewrites a caller-supplied config.")
+
+    # ------------------------------------------------------- resolution
+
+    def resolved_config(self) -> SystemConfig:
+        """The base config plus overrides (what the simulation uses)."""
+        base = (self.config if self.config is not None
+                else default_config(n_cores=self.n_threads))
+        if self.config_overrides:
+            base = base.with_overrides(**dict(self.config_overrides))
+        base.validate()
+        return base
+
+    def resolved_fases(self) -> int:
+        if self.fases_per_thread is not None:
+            return self.fases_per_thread
+        return _workload_class(self.benchmark).default_fases
+
+    # ---------------------------------------------------- serialisation
+
+    def to_dict(self) -> Dict:
+        """Canonical JSON-ready form (fases and config fully resolved)."""
+        return {
+            "benchmark": self.benchmark,
+            "design": self.design,
+            "n_threads": self.n_threads,
+            "fases_per_thread": self.resolved_fases(),
+            "seed": self.seed,
+            "config": dataclasses.asdict(self.resolved_config()),
+            "recovery_mode": self.recovery_mode,
+            "log_mode": self.log_mode,
+            "core_extra_cycles": (list(self.core_extra_cycles)
+                                  if self.core_extra_cycles else None),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RunSpec":
+        config = payload.get("config")
+        extra = payload.get("core_extra_cycles")
+        return cls(
+            benchmark=payload["benchmark"],
+            design=payload["design"],
+            n_threads=payload.get("n_threads", 8),
+            fases_per_thread=payload.get("fases_per_thread"),
+            seed=payload.get("seed", 42),
+            config=SystemConfig(**config) if config else None,
+            recovery_mode=payload.get("recovery_mode", "lazy"),
+            log_mode=payload.get("log_mode", "undo"),
+            core_extra_cycles=tuple(extra) if extra else None,
+            label=payload.get("label", ""),
+        )
+
+    def cache_key(self) -> str:
+        """Content hash of everything that determines the result.
+
+        Covers the resolved spec (benchmark, design, threads, fases,
+        seed, full resolved config, recovery/log mode, persist-path
+        perturbations) plus the result schema version, so a schema bump
+        invalidates stale cache entries.  ``label`` is presentation-only
+        and excluded.
+        """
+        payload = self.to_dict()
+        del payload["label"]
+        payload["schema_version"] = RESULT_SCHEMA_VERSION
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def describe(self) -> str:
+        tag = f" [{self.label}]" if self.label else ""
+        return (f"{self.benchmark}/{self.design} x{self.n_threads} "
+                f"seed={self.seed}{tag}")
+
+
+# ----------------------------------------------------------------- Sweep
+
+
+class Sweep:
+    """An ordered collection of :class:`RunSpec` (usually a grid)."""
+
+    def __init__(self, specs: Iterable[RunSpec], name: str = "sweep"):
+        self.specs: List[RunSpec] = list(specs)
+        self.name = name
+
+    @classmethod
+    def grid(cls,
+             benchmarks: Sequence[str],
+             designs: Sequence[str],
+             n_threads: Union[int, Sequence[int]] = 8,
+             seeds: Union[int, Sequence[int]] = 42,
+             fases_per_thread: Union[None, int,
+                                     Mapping[str, int]] = None,
+             config: Optional[SystemConfig] = None,
+             config_overrides: Optional[Mapping[str, object]] = None,
+             recovery_mode: str = "lazy",
+             log_mode: str = "undo",
+             name: str = "grid") -> "Sweep":
+        """Cartesian product in deterministic order: thread counts
+        outermost, then benchmarks, then designs, then seeds (the order
+        Figures 9 and 10 print in).  ``fases_per_thread`` may be a
+        single int, a per-benchmark mapping, or ``None`` (workload
+        defaults)."""
+        thread_list = ([n_threads] if isinstance(n_threads, int)
+                       else list(n_threads))
+        seed_list = [seeds] if isinstance(seeds, int) else list(seeds)
+
+        def fases_for(benchmark: str) -> Optional[int]:
+            if isinstance(fases_per_thread, Mapping):
+                return fases_per_thread.get(benchmark)
+            return fases_per_thread
+
+        specs = [
+            RunSpec(benchmark=benchmark, design=design, n_threads=threads,
+                    fases_per_thread=fases_for(benchmark), seed=seed,
+                    config=config,
+                    config_overrides=dict(config_overrides or {}),
+                    recovery_mode=recovery_mode, log_mode=log_mode)
+            for threads in thread_list
+            for benchmark in benchmarks
+            for design in designs
+            for seed in seed_list
+        ]
+        return cls(specs, name=name)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[RunSpec]:
+        return iter(self.specs)
+
+    def __getitem__(self, index: int) -> RunSpec:
+        return self.specs[index]
+
+    def __add__(self, other: "Sweep") -> "Sweep":
+        return Sweep(self.specs + list(other),
+                     name=f"{self.name}+{getattr(other, 'name', 'sweep')}")
+
+    def __repr__(self) -> str:
+        return f"Sweep({self.name}: {len(self.specs)} specs)"
+
+
+# ----------------------------------------------------------- SweepResult
+
+
+class SweepResult:
+    """Ordered (spec, result) pairs plus executor-level statistics."""
+
+    def __init__(self, specs: Sequence[RunSpec],
+                 results: Sequence[SimResult], stats: Dict):
+        if len(specs) != len(results):
+            raise ValueError("specs and results length mismatch")
+        self.specs = list(specs)
+        self.results = list(results)
+        self.stats = stats
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[Tuple[RunSpec, SimResult]]:
+        return iter(zip(self.specs, self.results))
+
+    def __getitem__(self, index: int) -> SimResult:
+        return self.results[index]
+
+    def filter(self, predicate: Callable[[RunSpec], bool]) -> "SweepResult":
+        kept = [(s, r) for s, r in self if predicate(s)]
+        return SweepResult([s for s, _ in kept], [r for _, r in kept],
+                           dict(self.stats))
+
+    def table(self, row_key: Callable[[RunSpec], object],
+              col_key: Callable[[RunSpec], object]
+              ) -> "Dict[object, Dict[object, SimResult]]":
+        """Group results into ``{row: {col: SimResult}}`` (insertion
+        order follows the sweep order)."""
+        out: Dict[object, Dict[object, SimResult]] = {}
+        for spec, result in self:
+            out.setdefault(row_key(spec), {})[col_key(spec)] = result
+        return out
+
+    def __repr__(self) -> str:
+        return (f"SweepResult({len(self)} runs, "
+                f"{self.stats.get('cache_hits', 0)} cached, "
+                f"{self.stats.get('elapsed_s', 0.0):.1f}s)")
+
+
+# -------------------------------------------------------------- executor
+
+
+class SweepError(RuntimeError):
+    """A spec failed in a worker AND in the serial retry."""
+
+    def __init__(self, spec: RunSpec, message: str,
+                 worker_traceback: str = ""):
+        detail = f"spec {spec.describe()} failed: {message}"
+        if worker_traceback:
+            detail += f"\n--- worker traceback ---\n{worker_traceback}"
+        super().__init__(detail)
+        self.spec = spec
+        self.worker_traceback = worker_traceback
+
+
+def _execute_spec(spec: RunSpec) -> SimResult:
+    """Run one spec to completion (the worker body)."""
+    workload = _workload_class(spec.benchmark)(seed=spec.seed)
+    program = workload.build(spec.n_threads, spec.resolved_fases())
+    system = build_system(program, design_by_name(spec.design),
+                          spec.resolved_config(),
+                          recovery_mode=spec.recovery_mode,
+                          log_mode=spec.log_mode)
+    if spec.core_extra_cycles is not None:
+        core_id, cycles = spec.core_extra_cycles
+        system.persist_path.set_core_extra(core_id, cycles)
+    return system.run()
+
+
+def _pool_worker(item: Tuple[int, RunSpec]):
+    index, spec = item
+    start = time.perf_counter()
+    try:
+        result = _execute_spec(spec)
+        return index, "ok", result.to_dict(), time.perf_counter() - start
+    except Exception:
+        return (index, "err", traceback.format_exc(),
+                time.perf_counter() - start)
+
+
+class ParallelExecutor:
+    """Executes sweeps; the only way experiments run simulations.
+
+    ``jobs`` is the worker-process count (``None`` = ``os.cpu_count()``,
+    ``1`` = in-process serial).  ``cache_dir`` enables the per-spec
+    result cache (``None`` disables it).  ``progress`` is an optional
+    ``callable(str)`` invoked once per completed spec.
+    """
+
+    def __init__(self, jobs: Optional[int] = 1,
+                 cache_dir: Optional[str] = None,
+                 progress: Optional[Callable[[str], None]] = None):
+        self.jobs = max(1, jobs if jobs is not None
+                        else (os.cpu_count() or 1))
+        self.cache_dir = cache_dir
+        self.progress = progress
+
+    # ------------------------------------------------------------ cache
+
+    def _cache_path(self, spec: RunSpec) -> str:
+        return os.path.join(self.cache_dir, f"{spec.cache_key()}.json")
+
+    def _cache_load(self, spec: RunSpec) -> Optional[SimResult]:
+        if self.cache_dir is None:
+            return None
+        path = self._cache_path(spec)
+        if not os.path.exists(path):
+            return None
+        try:
+            document = load_artifact(path)
+        except (ValueError, json.JSONDecodeError, OSError):
+            return None
+        payload = document["data"]
+        if payload.get("schema_version") != RESULT_SCHEMA_VERSION:
+            return None
+        return SimResult.from_dict(payload)
+
+    def _cache_store(self, spec: RunSpec, result: SimResult) -> None:
+        if self.cache_dir is None:
+            return
+        save_artifact(self.cache_dir, spec.cache_key(), result.to_dict(),
+                      meta={"spec": spec.to_dict()})
+
+    # -------------------------------------------------------------- run
+
+    def run(self, sweep: Union[Sweep, RunSpec, Iterable[RunSpec]]
+            ) -> SweepResult:
+        """Execute every spec; results come back in sweep order."""
+        if isinstance(sweep, RunSpec):
+            specs = [sweep]
+        else:
+            specs = list(sweep)
+        started = time.perf_counter()
+        results: List[Optional[SimResult]] = [None] * len(specs)
+        timings: List[Dict] = [dict() for _ in specs]
+        done = 0
+
+        def note(index: int, how: str) -> None:
+            nonlocal done
+            done += 1
+            if self.progress is not None:
+                self.progress(f"[{done}/{len(specs)}] "
+                              f"{specs[index].describe()} ({how})")
+
+        misses: List[int] = []
+        cache_hits = 0
+        for index, spec in enumerate(specs):
+            cached = self._cache_load(spec)
+            if cached is not None:
+                results[index] = cached
+                timings[index] = {"cache_hit": 1, "elapsed_s": 0.0,
+                                  "retried": 0}
+                cache_hits += 1
+                note(index, "cached")
+            else:
+                misses.append(index)
+
+        retries = 0
+        if misses and self.jobs > 1 and len(misses) > 1:
+            retries = self._run_pool(specs, misses, results, timings, note)
+        else:
+            for index in misses:
+                start = time.perf_counter()
+                try:
+                    results[index] = _execute_spec(specs[index])
+                except Exception as exc:
+                    raise SweepError(specs[index], str(exc)) from exc
+                timings[index] = {"cache_hit": 0,
+                                  "elapsed_s": time.perf_counter() - start,
+                                  "retried": 0}
+                self._cache_store(specs[index], results[index])
+                note(index, f"{timings[index]['elapsed_s']:.1f}s")
+
+        stats = {
+            "jobs": self.jobs,
+            "n_specs": len(specs),
+            "cache_hits": cache_hits,
+            "cache_misses": len(misses),
+            "retries": retries,
+            "elapsed_s": time.perf_counter() - started,
+        }
+        for index, result in enumerate(results):
+            info = dict(timings[index])
+            info["jobs"] = self.jobs
+            result.stats["executor"] = info
+        return SweepResult(specs, results, stats)
+
+    def _run_pool(self, specs: Sequence[RunSpec], misses: Sequence[int],
+                  results: List[Optional[SimResult]],
+                  timings: List[Dict], note) -> int:
+        """Fan the cache misses out over a process pool.  Returns the
+        number of specs that needed a serial retry."""
+        retries = 0
+        work = [(index, specs[index]) for index in misses]
+        try:
+            context = multiprocessing.get_context()
+            with context.Pool(processes=min(self.jobs, len(work))) as pool:
+                outcomes = pool.imap_unordered(_pool_worker, work)
+                for index, status, payload, elapsed in outcomes:
+                    if status == "ok":
+                        results[index] = SimResult.from_dict(payload)
+                        timings[index] = {"cache_hit": 0,
+                                          "elapsed_s": elapsed,
+                                          "retried": 0}
+                        self._cache_store(specs[index], results[index])
+                        note(index, f"{elapsed:.1f}s")
+                        continue
+                    # Worker failed: retry serially in the parent so a
+                    # flaky worker cannot sink the sweep; a second
+                    # failure surfaces both tracebacks.
+                    retries += 1
+                    start = time.perf_counter()
+                    try:
+                        results[index] = _execute_spec(specs[index])
+                    except Exception as exc:
+                        raise SweepError(specs[index], str(exc),
+                                         worker_traceback=payload) from exc
+                    timings[index] = {
+                        "cache_hit": 0,
+                        "elapsed_s": time.perf_counter() - start,
+                        "retried": 1}
+                    self._cache_store(specs[index], results[index])
+                    note(index, "serial retry")
+        except OSError:
+            # No process pool available (restricted environments):
+            # degrade to serial for the whole remainder.
+            for index in misses:
+                if results[index] is not None:
+                    continue
+                start = time.perf_counter()
+                try:
+                    results[index] = _execute_spec(specs[index])
+                except Exception as exc:
+                    raise SweepError(specs[index], str(exc)) from exc
+                timings[index] = {"cache_hit": 0,
+                                  "elapsed_s": time.perf_counter() - start,
+                                  "retried": 0}
+                self._cache_store(specs[index], results[index])
+                note(index, "serial (no pool)")
+        return retries

@@ -40,6 +40,12 @@ from .runtime import (
 from .sim import Environment
 
 
+# Version of the SimResult.to_dict() payload.  Bump when fields are
+# added/renamed/removed: the harness result cache keys on it, and
+# from_dict() uses it to stay readable across versions.
+RESULT_SCHEMA_VERSION = 2
+
+
 @dataclass
 class SimResult:
     """Outcome of one simulation run."""
@@ -74,8 +80,17 @@ class SimResult:
         return self.load_misspeculations + self.store_misspeculations
 
     def to_dict(self) -> Dict:
-        """JSON-ready summary (used by the harness' artifact export)."""
+        """JSON-ready summary (used by the harness' artifact export and
+        the sweep result cache).
+
+        The payload is versioned (``schema_version``) and deterministic
+        for a given run: the host-specific ``stats["executor"]`` section
+        the parallel executor attaches (timings, cache provenance) is
+        excluded, so serial and parallel runs of the same spec serialise
+        identically.
+        """
         return {
+            "schema_version": RESULT_SCHEMA_VERSION,
             "design": self.design,
             "workload": self.workload,
             "n_cores": self.n_cores,
@@ -88,8 +103,33 @@ class SimResult:
             "store_misspeculations": self.store_misspeculations,
             "stale_loads": self.stale_loads,
             "spec_buffer_overflows": self.spec_buffer_overflows,
-            "stats": self.stats,
+            "freq_ghz": self.freq_ghz,
+            "stats": {section: counters
+                      for section, counters in self.stats.items()
+                      if section != "executor"},
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SimResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Tolerant in both directions: unknown keys (derived values such
+        as ``seconds``/``throughput``, or fields added by future schema
+        versions) are ignored, and missing fields fall back to their
+        defaults -- version-1 payloads (no ``schema_version``, no
+        ``freq_ghz``) still load.
+        """
+        defaults = {
+            "design": "?", "workload": "?", "n_cores": 0, "cycles": 0,
+            "fases_committed": 0, "fases_aborted": 0,
+            "load_misspeculations": 0, "store_misspeculations": 0,
+            "stale_loads": 0, "spec_buffer_overflows": 0,
+            "freq_ghz": 2.0, "stats": None,
+        }
+        kwargs = {name: payload.get(name, fallback)
+                  for name, fallback in defaults.items()}
+        kwargs["stats"] = dict(kwargs["stats"] or {})
+        return cls(**kwargs)
 
     def to_json(self, indent: int = 2) -> str:
         import json

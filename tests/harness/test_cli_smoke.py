@@ -1,0 +1,40 @@
+"""Tier-1 smoke test: the CLI end-to-end with --jobs and the cache.
+
+Drives ``python -m repro.harness fig9`` at a tiny scale through the
+parallel executor, saves the artifact, and checks it loads and diffs
+clean against itself; a second run must be served from the result cache
+and produce an identical artifact.
+"""
+
+from repro.harness import BENCHMARK_ORDER, diff_artifacts, load_artifact
+from repro.harness.__main__ import main
+
+
+def test_cli_fig9_parallel_save_and_cache(tmp_path, capsys):
+    save_first = tmp_path / "artifacts-1"
+    save_second = tmp_path / "artifacts-2"
+    cache = tmp_path / "cache"
+    base = ["fig9", "--scale", "0.1", "--threads", "2", "--seed", "3",
+            "--jobs", "2", "--cache-dir", str(cache)]
+
+    assert main(base + ["--save", str(save_first)]) == 0
+    assert "Figure 9" in capsys.readouterr().out
+    first = load_artifact(str(save_first / "fig9.json"))
+    assert set(first["data"]) == set(BENCHMARK_ORDER)
+    assert diff_artifacts(first, first) == []
+
+    # One cache entry per grid cell was written.
+    assert len(list(cache.glob("*.json"))) == len(BENCHMARK_ORDER) * 4
+
+    # Second run: all cells come from the cache, artifact identical.
+    assert main(base + ["--save", str(save_second)]) == 0
+    second = load_artifact(str(save_second / "fig9.json"))
+    assert diff_artifacts(first, second, tolerance=0.0) == []
+
+
+def test_cli_no_cache_flag(tmp_path):
+    save = tmp_path / "artifacts"
+    assert main(["fig9", "--scale", "0.1", "--threads", "2", "--seed",
+                 "3", "--no-cache", "--save", str(save)]) == 0
+    assert (save / "fig9.json").exists()
+    assert not list(tmp_path.glob("**/cache*"))
