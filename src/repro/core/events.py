@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class MisspeculationEvent:
     """Raised (as data, not an exception) by the speculation buffer when
@@ -9,17 +11,29 @@ class MisspeculationEvent:
     read) or ``"store"`` (inter-thread persist-order violation);
     ``block`` is the cache-block number; ``core_id`` is the core whose
     message exposed the violation (the hardware cannot attribute blame,
-    which is why recovery rolls back *all* in-FASE threads, §6.2)."""
+    which is why recovery rolls back *all* in-FASE threads, §6.2).
 
-    __slots__ = ("kind", "block", "core_id", "time")
+    ``spec_id`` is the speculation ID carried by the persist-path
+    message that exposed the violation (0 when the message was
+    untagged), and ``persist_time`` is that message's PMC acceptance
+    time -- the persist-path timestamp.  Traces and the §8.4
+    misspeculation-rate analysis both read these fields, so the
+    identifiers they report agree by construction.
+    """
 
-    def __init__(self, kind: str, block: int, core_id: int, time: int):
+    __slots__ = ("kind", "block", "core_id", "time", "spec_id",
+                 "persist_time")
+
+    def __init__(self, kind: str, block: int, core_id: int, time: int,
+                 spec_id: int = 0, persist_time: Optional[int] = None):
         if kind not in ("load", "store"):
             raise ValueError(f"unknown misspeculation kind {kind!r}")
         self.kind = kind
         self.block = block
         self.core_id = core_id
         self.time = time
+        self.spec_id = spec_id
+        self.persist_time = time if persist_time is None else persist_time
 
     @property
     def physical_address(self) -> int:
@@ -27,6 +41,13 @@ class MisspeculationEvent:
         space by the hardware (§6.1.1)."""
         return self.block * 64
 
+    def identifiers(self) -> dict:
+        """The common identifier payload traces and reports share."""
+        return {"kind": self.kind, "block": self.block,
+                "core": self.core_id, "spec_id": self.spec_id,
+                "persist_time": self.persist_time}
+
     def __repr__(self) -> str:
+        tag = f", spec_id={self.spec_id}" if self.spec_id else ""
         return (f"MisspeculationEvent({self.kind}, block={self.block}, "
-                f"core={self.core_id}, t={self.time})")
+                f"core={self.core_id}, t={self.time}{tag})")

@@ -96,6 +96,17 @@ class PMEMSpec(Design):
             self.stats.add("persist_path_stores")
             if spec_id:
                 self.stats.add("tagged_stores")
+            trace = self.system.env.trace
+            if trace.enabled:
+                # One span per store covering issue -> ring traversal ->
+                # PMC acceptance (the full persist-path journey, §4.2).
+                args = {"core": core_id, "addr": addr, "kind": kind,
+                        "arrival": arrival, "accept": accept}
+                if spec_id:
+                    args["spec_id"] = spec_id
+                trace.complete("persist-path", "persist", now,
+                               max(accept - now, 1), args=args,
+                               cat="persist-path")
         return done
 
     # -------------------------------------------------------------- fences

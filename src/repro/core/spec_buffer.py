@@ -19,9 +19,11 @@ pauses.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from ..sim import Counter
+from ..sim.metrics import NULL_METRICS, Metrics
+from ..sim.trace import NULL_TRACER, Tracer
 from . import automata
 from .events import MisspeculationEvent
 
@@ -72,9 +74,15 @@ class SpecBufferEntry:
 class SpeculationBuffer:
     """The PMC-side buffer driving both misspeculation detectors."""
 
+    #: Trace track all speculation-buffer events land on.
+    TRACE_TRACK = "spec-buffer"
+
     def __init__(self, entries: int, window: int,
                  stall: Optional[StallController] = None,
-                 report: Optional[Callable[[MisspeculationEvent], None]] = None):
+                 report: Optional[Callable[[MisspeculationEvent], None]] = None,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[Metrics] = None,
+                 name: str = "spec-buffer"):
         if entries < 1:
             raise ValueError("speculation buffer needs >= 1 entry")
         if window < 1:
@@ -83,8 +91,25 @@ class SpeculationBuffer:
         self.window = window
         self.stall = stall or StallController()
         self.report = report or (lambda event: None)
+        self.trace = NULL_TRACER if tracer is None else tracer
+        self.metrics = NULL_METRICS if metrics is None else metrics
+        self.name = name
         self._entries: List[SpecBufferEntry] = []
         self.stats = Counter()
+
+    # --------------------------------------------------------- observability
+
+    def _trace_transition(self, block: int, old: str, new: str, now: int,
+                          spec_id: int = 0) -> None:
+        args = {"block": block}
+        if spec_id:
+            args["spec_id"] = spec_id
+        self.trace.instant(self.TRACE_TRACK, f"{old}->{new}", now,
+                           args=args, cat="spec-buffer")
+
+    def _observe_occupancy(self, now: int) -> None:
+        self.metrics.sample("spec_buffer_occupancy", now,
+                            len(self._entries))
 
     # ------------------------------------------------------------ plumbing
 
@@ -118,14 +143,21 @@ class SpeculationBuffer:
         entry = SpecBufferEntry(block, state, now, spec_id)
         self._entries.append(entry)
         self.stats.add("allocations")
+        if self.trace.enabled and state != automata.INITIAL:
+            self._trace_transition(block, automata.INITIAL, state, now,
+                                   spec_id=spec_id)
         return entry
 
     def _deallocate(self, entry: SpecBufferEntry) -> None:
         self._entries.remove(entry)
 
     def _apply(self, entry: SpecBufferEntry, symbol: str, now: int) -> str:
+        old_state = entry.state
         next_state, action = automata.step(entry.state, symbol)
         entry.state = next_state
+        if self.trace.enabled and next_state != old_state:
+            self._trace_transition(entry.block, old_state, next_state, now,
+                                   spec_id=entry.spec_id)
         if action == automata.RESTART_WINDOW:
             entry.inserted = now
         elif action == automata.DEALLOCATE:
@@ -144,6 +176,7 @@ class SpeculationBuffer:
             self._allocate(block, automata.EVICT, now)
         else:
             self._apply(entry, automata.WRITEBACK, now)
+        self._observe_occupancy(now)
 
     def on_read(self, block: int, now: int) -> None:
         """PM read arrived (regular path).  Only monitored blocks react --
@@ -164,27 +197,41 @@ class SpeculationBuffer:
             if entry.state == automata.SPECULATED:
                 # WriteBack - Read - Persist: the read was stale (§5.1.4).
                 self.stats.add("load_misspeculations")
+                if self.trace.enabled:
+                    self._trace_transition(block, entry.state,
+                                           automata.MISSPECULATION, now,
+                                           spec_id=spec_id)
                 self.report(MisspeculationEvent(
-                    kind="load", block=block, core_id=core_id, time=now))
+                    kind="load", block=block, core_id=core_id, time=now,
+                    spec_id=spec_id, persist_time=now))
                 self._deallocate(entry)
+                self._observe_occupancy(now)
                 return
             if (spec_id and entry.spec_id
                     and spec_id < entry.spec_id):
                 # A lower spec-ID after a higher one: the happens-before
                 # (lock) order was violated in PM (§5.2.2).
                 self.stats.add("store_misspeculations")
+                if self.trace.enabled:
+                    self._trace_transition(block, entry.state,
+                                           automata.MISSPECULATION, now,
+                                           spec_id=spec_id)
                 self.report(MisspeculationEvent(
-                    kind="store", block=block, core_id=core_id, time=now))
+                    kind="store", block=block, core_id=core_id, time=now,
+                    spec_id=spec_id, persist_time=now))
                 self._deallocate(entry)
+                self._observe_occupancy(now)
                 return
             if spec_id:
                 entry.spec_id = max(entry.spec_id, spec_id)
                 entry.inserted = now
             else:
                 self._apply(entry, automata.PERSIST, now)
+            self._observe_occupancy(now)
             return
         if spec_id:
             self._allocate(block, automata.INITIAL, now, spec_id=spec_id)
+        self._observe_occupancy(now)
 
     # ------------------------------------------------------------- queries
 

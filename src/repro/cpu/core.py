@@ -94,11 +94,34 @@ class Core:
         return self.env.now
 
     def _run_fase_with_retries(self, fase: LoweredFase):
+        trace = self.env.trace
+        track = f"core{self.core_id}"
+        attempt = 0
         while True:
+            attempt += 1
+            started = self.env.now
+            if trace.enabled and attempt > 1:
+                trace.instant(track, "fase-re-execute", started,
+                              args={"fase": fase.fase_id,
+                                    "attempt": attempt}, cat="fase")
             outcome = yield from self._execute(fase.ops)
             if outcome == COMMIT:
                 self.stats.add("fases_committed")
+                if trace.enabled:
+                    trace.complete(
+                        track, f"FASE {fase.fase_id}", started,
+                        max(self.env.now - started, 1),
+                        args={"fase": fase.fase_id, "outcome": "commit",
+                              "attempt": attempt}, cat="fase")
                 return
+            if trace.enabled:
+                trace.complete(
+                    track, f"FASE {fase.fase_id}", started,
+                    max(self.env.now - started, 1),
+                    args={"fase": fase.fase_id, "outcome": "abort",
+                          "attempt": attempt}, cat="fase")
+                trace.instant(track, "fase-abort", self.env.now,
+                              args={"fase": fase.fase_id}, cat="fase")
             yield from self._abort_and_rollback(fase)
             self.stats.add("fase_retries")
 

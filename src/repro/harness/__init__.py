@@ -26,6 +26,8 @@ from .report import (
     format_misspec_table,
     format_normalized_table,
     format_series,
+    format_timeseries,
+    sparkline,
 )
 from .runner import (
     compare_designs,
@@ -39,6 +41,7 @@ from .sweep import (
     Sweep,
     SweepError,
     SweepResult,
+    execute_spec,
 )
 
 __all__ = [
@@ -46,6 +49,7 @@ __all__ = [
     "default_config", "figure9", "figure10", "figure10_summary",
     "figure11", "figure12", "format_bar_chart", "format_misspec_table",
     "format_normalized_table", "format_series", "format_table3",
+    "format_timeseries", "sparkline", "execute_spec",
     "figure2_annotation_burden", "full_comparison",
     "lazy_vs_eager_recovery", "misspeculation_rates",
     "ParallelExecutor", "RunSpec", "Sweep", "SweepError", "SweepResult",

@@ -10,22 +10,33 @@ Usage::
     python -m repro.harness misspec
     python -m repro.harness ablations
     python -m repro.harness all   [--scale 0.5] [--jobs 0]
+    python -m repro.harness trace array_swaps --design PMEMSpec \
+        --trace-out trace.json
+    python -m repro.harness metrics tpcc --design PMEM-Spec --summary
 
 ``--jobs N`` fans the experiment grid out over N worker processes
 (``0`` = all cores).  Results are cached per grid cell (keyed by a
 content hash of the resolved run spec) so re-running an unchanged
 figure is free; ``--no-cache`` disables the cache and ``--cache-dir``
 relocates it.
+
+Output channels: experiment *data* (tables, figures, JSON, traces) goes
+to stdout; diagnostics (timings, cache provenance, progress) go to the
+``repro.*`` loggers on stderr (``--log-level`` adjusts verbosity), so
+``... fig9 > fig9.txt`` captures clean data.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import os
 import sys
 import tempfile
 import time
 
+from ..telemetry import configure_logging, console, get_logger, run_context
 from .configs import DESIGNS, format_table3
 from .experiments import (
     figure2_annotation_burden,
@@ -44,7 +55,10 @@ from .report import (
     format_misspec_table,
     format_normalized_table,
     format_series,
+    format_timeseries,
 )
+
+log = get_logger("harness.cli")
 
 
 def _maybe_save(args, name, payload):
@@ -52,18 +66,19 @@ def _maybe_save(args, name, payload):
         from .artifacts import save_artifact
         path = save_artifact(args.save, name, payload,
                              meta={"scale": args.scale, "seed": args.seed})
-        print(f"[saved {path}]")
+        log.info("saved %s", path)
 
 
 def _timed(label, fn):
     start = time.time()
-    result = fn()
-    print(f"[{label} done in {time.time() - start:.1f}s]\n")
+    with run_context(run_id=label):
+        result = fn()
+    log.info("%s done in %.1fs", label, time.time() - start)
     return result
 
 
 def cmd_table3(args) -> None:
-    print(format_table3())
+    console(format_table3())
 
 
 def cmd_fig9(args) -> None:
@@ -71,13 +86,13 @@ def cmd_fig9(args) -> None:
                                           scale=args.scale, seed=args.seed,
                                           executor=args.executor))
     _maybe_save(args, "fig9", rows)
-    print(format_normalized_table(
+    console(format_normalized_table(
         rows, DESIGNS,
         f"Figure 9: throughput normalised to IntelX86 "
         f"({args.threads}-core system)"))
     from ..sim import geomean
-    print()
-    print(format_bar_chart(
+    console()
+    console(format_bar_chart(
         {design: geomean([rows[b][design] for b in rows])
          for design in DESIGNS},
         "Figure 9 geomean (|= baseline)", reference=1.0))
@@ -91,13 +106,13 @@ def cmd_fig10(args) -> None:
                                                executor=args.executor))
     _maybe_save(args, "fig10", results)
     for count, rows in results.items():
-        print(format_normalized_table(
+        console(format_normalized_table(
             rows, DESIGNS,
             f"Figure 10: normalised throughput ({count}-core system)"))
-        print()
+        console()
     summary = figure10_summary(results)
-    print(format_series(summary, "cores", "geomean vs IntelX86",
-                        "Figure 10 summary (geomean per design)"))
+    console(format_series(summary, "cores", "geomean vs IntelX86",
+                          "Figure 10 summary (geomean per design)"))
 
 
 def cmd_fig11(args) -> None:
@@ -105,7 +120,7 @@ def cmd_fig11(args) -> None:
                                               seed=args.seed,
                                               executor=args.executor))
     _maybe_save(args, "fig11", series)
-    print(format_series(
+    console(format_series(
         series, "buffer entries", "throughput vs 16-entry",
         "Figure 11: speculation-buffer size sensitivity (8 cores)"))
 
@@ -115,7 +130,7 @@ def cmd_fig12(args) -> None:
                                               seed=args.seed,
                                               executor=args.executor))
     _maybe_save(args, "fig12", series)
-    print(format_series(
+    console(format_series(
         series, "persist-path ns", "geomean vs IntelX86",
         "Figure 12: persist-path latency sensitivity"))
 
@@ -124,13 +139,13 @@ def cmd_misspec(args) -> None:
     rows = _timed("misspec", lambda: misspeculation_rates(
         scale=args.scale, seed=args.seed, executor=args.executor))
     _maybe_save(args, "misspec", {"rows": rows})
-    print(format_misspec_table(
+    console(format_misspec_table(
         rows, "Section 8.4: misspeculation rates under PMEM-Spec"))
 
 
 def cmd_fig2(args) -> None:
     rows = _timed("fig2", figure2_annotation_burden)
-    print(format_series(
+    console(format_series(
         rows, "benchmark", "annotations/FASE per flavor",
         "Figure 2 quantified: programmer-visible ordering annotations"))
 
@@ -140,26 +155,41 @@ def cmd_ablations(args) -> None:
                       lambda: lazy_vs_eager_recovery(scale=args.scale,
                                                      seed=args.seed,
                                                      executor=args.executor))
-    print(format_series(recovery, "recovery mode", "outcome",
-                        "Ablation: lazy vs eager recovery (§6.2)"))
-    print()
+    console(format_series(recovery, "recovery mode", "outcome",
+                          "Ablation: lazy vs eager recovery (§6.2)"))
+    console()
     tagging = _timed("tagging", lambda: naive_tagging_ablation(
         scale=args.scale, seed=args.seed, executor=args.executor))
-    print(format_series(
+    console(format_series(
         {name: {"slowdown_naive": row["slowdown"],
                 "naive_overflows": row["naive_overflows"]}
          for name, row in tagging.items()},
         "benchmark", "naive tagging cost",
         "Ablation: spec-tagging without escape analysis (§5.2.2)"))
-    print()
+    console()
     redo = _timed("undo-vs-redo", lambda: undo_vs_redo_ablation(
         scale=args.scale, seed=args.seed, executor=args.executor))
-    print(format_series(
+    console(format_series(
         {name: {key: value for key, value in row.items()
                 if key.endswith("speedup")}
          for name, row in redo.items()},
         "benchmark", "redo/undo throughput",
         "Ablation: undo vs redo logging (writeback-dropping designs)"))
+
+
+def _print_run_summary(result) -> None:
+    console(repr(result))
+    console(f"  throughput        : {result.throughput / 1e6:.3f} M FASEs/s")
+    console(f"  committed/aborted : {result.fases_committed}/"
+            f"{result.fases_aborted}")
+    console(f"  misspeculations   : {result.load_misspeculations} load, "
+            f"{result.store_misspeculations} store")
+    for section in ("design", "spec_buffer", "pmc", "hierarchy"):
+        stats = result.stats.get(section, {})
+        if stats:
+            rendered = ", ".join(f"{k}={v}" for k, v in
+                                 sorted(stats.items())[:8])
+            console(f"  {section:<18}: {rendered}")
 
 
 def cmd_run(args) -> None:
@@ -170,35 +200,93 @@ def cmd_run(args) -> None:
         f"{args.benchmark}/{args.design}",
         lambda: args.executor.run(spec)[0])
     if args.json:
-        print(result.to_json())
+        console(result.to_json())
         return
-    print(result)
-    print(f"  throughput        : {result.throughput / 1e6:.3f} M FASEs/s")
-    print(f"  committed/aborted : {result.fases_committed}/"
-          f"{result.fases_aborted}")
-    print(f"  misspeculations   : {result.load_misspeculations} load, "
-          f"{result.store_misspeculations} store")
-    for section in ("design", "spec_buffer", "pmc", "hierarchy"):
-        stats = result.stats.get(section, {})
-        if stats:
-            rendered = ", ".join(f"{k}={v}" for k, v in
-                                 sorted(stats.items())[:8])
-            print(f"  {section:<18}: {rendered}")
+    _print_run_summary(result)
+
+
+def _observed_spec(args):
+    """The RunSpec the trace/metrics commands simulate (benchmark from
+    the positional target, falling back to --benchmark)."""
+    from .sweep import RunSpec
+    benchmark = args.target or args.benchmark
+    return RunSpec(benchmark=benchmark, design=args.design,
+                   n_threads=args.threads, seed=args.seed)
+
+
+def cmd_trace(args) -> None:
+    """Run one spec with tracing on; write Chrome trace-event JSON."""
+    from ..sim import (
+        MetricsCollector,
+        TraceRecorder,
+        validate_trace_document,
+    )
+    from .sweep import execute_spec
+    spec = _observed_spec(args)
+    config = spec.resolved_config()
+    tracer = TraceRecorder(cycle_ns=config.cycle_ns)
+    metrics = MetricsCollector(window_cycles=args.metrics_window)
+    out = args.trace_out or f"{spec.benchmark}-{spec.design}.trace.json"
+    start = time.time()
+    with run_context(run_id=f"trace/{spec.benchmark}",
+                     spec_hash=spec.cache_key()[:12]):
+        result = execute_spec(spec, tracer=tracer, metrics=metrics)
+        log.info("%s done in %.1fs (%d trace events, %d dropped)",
+                 spec.describe(), time.time() - start, len(tracer),
+                 tracer.dropped)
+    document = tracer.to_dict()
+    problems = validate_trace_document(document)
+    if problems:
+        for problem in problems[:10]:
+            log.error("trace schema: %s", problem)
+        raise ValueError(f"trace failed schema check "
+                         f"({len(problems)} problems)")
+    tracer.save(out)
+    console(f"trace written to {out} "
+            f"({len(tracer)} events on {len(tracer.tracks)} tracks; "
+            f"open in Perfetto / chrome://tracing)")
+    console()
+    _print_run_summary(result)
+    if result.timeseries:
+        console()
+        console(format_timeseries(
+            result.timeseries,
+            f"Time series: {spec.benchmark}/{spec.design}"))
+
+
+def cmd_metrics(args) -> None:
+    """Run one spec with windowed metrics; print series or sparklines."""
+    from ..sim import MetricsCollector
+    from .sweep import execute_spec
+    spec = _observed_spec(args)
+    metrics = MetricsCollector(window_cycles=args.metrics_window)
+    start = time.time()
+    with run_context(run_id=f"metrics/{spec.benchmark}",
+                     spec_hash=spec.cache_key()[:12]):
+        result = execute_spec(spec, metrics=metrics)
+        log.info("%s done in %.1fs", spec.describe(), time.time() - start)
+    if args.summary:
+        console(format_timeseries(
+            result.timeseries or {},
+            f"Time series: {spec.benchmark}/{spec.design} "
+            f"({spec.n_threads} cores)"))
+    else:
+        console(json.dumps(result.timeseries or {}, indent=2))
 
 
 def cmd_all(args) -> None:
     cmd_table3(args)
-    print()
+    console()
     cmd_fig9(args)
-    print()
+    console()
     cmd_fig10(args)
-    print()
+    console()
     cmd_fig11(args)
-    print()
+    console()
     cmd_fig12(args)
-    print()
+    console()
     cmd_misspec(args)
-    print()
+    console()
     cmd_ablations(args)
 
 
@@ -212,6 +300,8 @@ COMMANDS = {
     "misspec": cmd_misspec,
     "ablations": cmd_ablations,
     "run": cmd_run,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
     "all": cmd_all,
 }
 
@@ -221,6 +311,8 @@ def main(argv=None) -> int:
         prog="python -m repro.harness",
         description="Regenerate the PMEM-Spec paper's tables and figures.")
     parser.add_argument("experiment", choices=sorted(COMMANDS))
+    parser.add_argument("target", nargs="?", default=None,
+                        help="benchmark name (trace/metrics commands)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="FASE-count multiplier (default 1.0)")
     parser.add_argument("--threads", type=int, default=8)
@@ -230,7 +322,8 @@ def main(argv=None) -> int:
     parser.add_argument("--benchmark", default="tpcc",
                         help="benchmark for the `run` command")
     parser.add_argument("--design", default="PMEM-Spec",
-                        help="design for the `run` command")
+                        help="design for the `run`/`trace`/`metrics` "
+                             "commands")
     parser.add_argument("--json", action="store_true",
                         help="emit JSON (run command)")
     parser.add_argument("--save", default=None, metavar="DIR",
@@ -244,25 +337,39 @@ def main(argv=None) -> int:
                         help="result-cache directory (default: "
                              "<tmpdir>/repro-harness-cache)")
     parser.add_argument("--progress", action="store_true",
-                        help="print one line per completed grid cell")
+                        help="log one line per completed grid cell")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="trace command: output path for the Chrome "
+                             "trace-event JSON")
+    parser.add_argument("--metrics-window", type=int, default=10_000,
+                        metavar="CYCLES",
+                        help="aggregation window for time-series metrics "
+                             "(default 10000 cycles)")
+    parser.add_argument("--summary", action="store_true",
+                        help="metrics command: sparkline summary instead "
+                             "of JSON")
+    parser.add_argument("--log-level", default="info",
+                        choices=("debug", "info", "warning", "error"),
+                        help="diagnostic verbosity on stderr")
     args = parser.parse_args(argv)
+    configure_logging(getattr(logging, args.log_level.upper()))
     from .sweep import ParallelExecutor
     if args.no_cache:
         cache_dir = None
     else:
         cache_dir = args.cache_dir or os.path.join(
             tempfile.gettempdir(), "repro-harness-cache")
+    progress_log = get_logger("harness.progress")
     args.executor = ParallelExecutor(
         jobs=args.jobs if args.jobs > 0 else None,
         cache_dir=cache_dir,
-        progress=(lambda line: print(line, file=sys.stderr))
-        if args.progress else None)
+        progress=progress_log.info if args.progress else None)
     try:
         COMMANDS[args.experiment](args)
     except ValueError as exc:
         # Bad spec inputs (unknown design/benchmark, config mismatch)
         # are user errors, not crashes.
-        print(f"error: {exc}", file=sys.stderr)
+        log.error("%s", exc)
         return 2
     return 0
 

@@ -70,6 +70,66 @@ def format_bar_chart(values: Dict[str, float], title: str,
     return "\n".join(lines)
 
 
+SPARK_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a numeric series as a fixed-width unicode sparkline.
+
+    Longer series are downsampled by averaging equal chunks; shorter
+    ones render one tick per value.  A flat (or empty) series renders
+    as the lowest tick so the line length still reflects the data."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        chunked = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            chunk = values[lo:hi]
+            chunked.append(sum(chunk) / len(chunk))
+        values = chunked
+    low, high = min(values), max(values)
+    span = high - low
+    if span == 0:
+        return SPARK_TICKS[0] * len(values)
+    top = len(SPARK_TICKS) - 1
+    return "".join(
+        SPARK_TICKS[min(top, int((v - low) / span * (top + 1)))]
+        for v in values)
+
+
+def format_timeseries(timeseries: Dict, title: str,
+                      width: int = 60) -> str:
+    """Render ``SimResult.timeseries`` (cycle-windowed series) as one
+    sparkline per series with min/mean-ish/max annotations."""
+    lines = [title, "=" * max(len(title), 40)]
+    if not timeseries or not timeseries.get("series"):
+        lines.append("(no time-series data; run with metrics enabled)")
+        return "\n".join(lines)
+    window = timeseries.get("window_cycles", 0)
+    lines.append(f"window: {window} cycles")
+    name_width = max(len(name) for name in timeseries["series"]) + 2
+    for name, series in timeseries["series"].items():
+        windows = series.get("windows", [])
+        if series.get("kind") == "count":
+            values = [w.get("count", 0) for w in windows]
+        else:
+            values = [w.get("mean", 0.0) for w in windows]
+        if not values:
+            lines.append(f"{name:<{name_width}}(empty)")
+            continue
+        spark = sparkline(values, width=width)
+        low, high = min(values), max(values)
+        note = f"min={low:g} max={high:g} windows={len(values)}"
+        evicted = series.get("evicted_windows", 0)
+        if evicted:
+            note += f" (+{evicted} evicted)"
+        lines.append(f"{name:<{name_width}}{spark}  {note}")
+    return "\n".join(lines)
+
+
 def format_misspec_table(rows: List[Dict], title: str) -> str:
     """Misspeculation-rate report (§8.4)."""
     header = (f"{'workload':<22}{'config':<18}{'load':>6}{'store':>7}"

@@ -49,6 +49,7 @@ from typing import (
 from ..config import SystemConfig
 from ..persistency import design_by_name
 from ..system import RESULT_SCHEMA_VERSION, SimResult, build_system
+from ..telemetry import get_logger
 from ..workloads import (
     BENCHMARKS,
     LoadMisspecProbe,
@@ -63,6 +64,8 @@ PROBES = {
     LoadMisspecProbe.name: LoadMisspecProbe,
     StoreMisspecProbe.name: StoreMisspecProbe,
 }
+
+log = get_logger("harness.sweep")
 
 
 def _workload_class(name: str):
@@ -337,18 +340,28 @@ class SweepError(RuntimeError):
         self.worker_traceback = worker_traceback
 
 
-def _execute_spec(spec: RunSpec) -> SimResult:
-    """Run one spec to completion (the worker body)."""
+def execute_spec(spec: RunSpec, tracer=None, metrics=None) -> SimResult:
+    """Run one spec to completion.
+
+    ``tracer`` / ``metrics`` (a :class:`repro.sim.TraceRecorder` /
+    :class:`repro.sim.MetricsCollector`) opt the run into observability;
+    both default to off, which is what the sweep cache assumes -- traced
+    runs bypass the executor entirely (see the CLI ``trace`` command)."""
     workload = _workload_class(spec.benchmark)(seed=spec.seed)
     program = workload.build(spec.n_threads, spec.resolved_fases())
     system = build_system(program, design_by_name(spec.design),
                           spec.resolved_config(),
                           recovery_mode=spec.recovery_mode,
-                          log_mode=spec.log_mode)
+                          log_mode=spec.log_mode,
+                          tracer=tracer, metrics=metrics)
     if spec.core_extra_cycles is not None:
         core_id, cycles = spec.core_extra_cycles
         system.persist_path.set_core_extra(core_id, cycles)
     return system.run()
+
+
+# Worker-side alias (kept for pickling stability and old imports).
+_execute_spec = execute_spec
 
 
 def _pool_worker(item: Tuple[int, RunSpec]):
@@ -422,9 +435,11 @@ class ParallelExecutor:
         def note(index: int, how: str) -> None:
             nonlocal done
             done += 1
+            line = (f"[{done}/{len(specs)}] "
+                    f"{specs[index].describe()} ({how})")
+            log.debug("%s", line)
             if self.progress is not None:
-                self.progress(f"[{done}/{len(specs)}] "
-                              f"{specs[index].describe()} ({how})")
+                self.progress(line)
 
         misses: List[int] = []
         cache_hits = 0
@@ -463,6 +478,10 @@ class ParallelExecutor:
             "retries": retries,
             "elapsed_s": time.perf_counter() - started,
         }
+        log.info(
+            "sweep done: %d specs in %.1fs (%d cached, %d simulated, "
+            "%d retried, jobs=%d)", len(specs), stats["elapsed_s"],
+            cache_hits, len(misses), retries, self.jobs)
         for index, result in enumerate(results):
             info = dict(timings[index])
             info["jobs"] = self.jobs

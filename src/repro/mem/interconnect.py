@@ -15,17 +15,20 @@ i.e. FIFO across *all* cores, not just within one.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from collections import deque
+from typing import Deque, Dict, List, Optional
 
 from ..config import SystemConfig
 from ..sim import Counter, TimelineResource
+from ..sim.metrics import NULL_METRICS, Metrics
 
 
 class PersistPath:
     """Ring-bus store path from the store queues to the PM controller."""
 
     def __init__(self, config: SystemConfig, n_cores: int,
-                 traversal_cycles: int = None, global_fifo: bool = False):
+                 traversal_cycles: int = None, global_fifo: bool = False,
+                 metrics: Optional[Metrics] = None):
         self.config = config
         self.n_cores = n_cores
         self.traversal = (config.ns(config.persist_path_ns)
@@ -37,6 +40,10 @@ class PersistPath:
         self._last_arrival: List[int] = [0] * n_cores
         self._core_extra: List[int] = [0] * n_cores
         self._global_last = 0
+        self.metrics = NULL_METRICS if metrics is None else metrics
+        # Arrival times of messages injected but not yet at the PMC,
+        # in injection order; lazily pruned when sampling depth.
+        self._in_flight: Deque[int] = deque()
         self.stats = Counter()
 
     def set_core_extra(self, core_id: int, cycles: int) -> None:
@@ -63,6 +70,12 @@ class PersistPath:
         self._global_last = max(self._global_last, arrival)
         self.stats.add("messages")
         self.stats.add("cycles_waited", max(0, slot_done - now - self.slot_cycles))
+        if self.metrics.enabled:
+            in_flight = self._in_flight
+            while in_flight and in_flight[0] <= now:
+                in_flight.popleft()
+            in_flight.append(arrival)
+            self.metrics.sample("persist_path_depth", now, len(in_flight))
         return arrival
 
     def last_arrival(self, core_id: int) -> int:

@@ -82,6 +82,13 @@ class PMController:
         self._core_fifo: Dict[int, int] = {}
         self.stats = Counter()
 
+    #: Trace track for controller-side acceptance events.
+    TRACE_TRACK = "pmc"
+
+    def _observe_wpq(self, now: int) -> None:
+        self.env.metrics.sample("wpq_depth", now,
+                                self.write_queue.occupancy(now))
+
     def _wpq_admit(self, block: int, arrival: int) -> int:
         """Admit one block-granular write; coalesces into a pending entry
         for the same block when possible.  Returns the ADR-acceptance time."""
@@ -134,6 +141,12 @@ class PMController:
         path.  Returns the write-queue acceptance (durability) time."""
         self.stats.add("writebacks")
         accept = self._wpq_admit(block_addr >> 6, arrival)
+        if self.env.trace.enabled:
+            self.env.trace.instant(
+                self.TRACE_TRACK, "writeback-accept", accept,
+                args={"block": block_addr >> 6}, cat="pmc")
+        if self.env.metrics.enabled:
+            self._observe_wpq(arrival)
         snapshot = dict(data)
         self.env.call_at(
             accept, lambda: self.policy.on_writeback(
@@ -155,6 +168,15 @@ class PMController:
         if accept < previous:
             accept = previous
         self._core_fifo[msg.core_id] = accept
+        if self.env.trace.enabled:
+            args = {"core": msg.core_id, "block": msg.addr >> 6,
+                    "arrival": arrival}
+            if msg.spec_id:
+                args["spec_id"] = msg.spec_id
+            self.env.trace.instant(self.TRACE_TRACK, "persist-accept",
+                                   accept, args=args, cat="pmc")
+        if self.env.metrics.enabled:
+            self._observe_wpq(arrival)
         self.env.call_at(
             accept, lambda: self.policy.on_persist(msg, self.env.now))
         return accept

@@ -1,4 +1,5 @@
-"""Discrete-event simulation kernel (events, processes, resources, stats)."""
+"""Discrete-event simulation kernel (events, processes, resources,
+stats, tracing, metrics)."""
 
 from .engine import (
     AllOf,
@@ -10,6 +11,12 @@ from .engine import (
     SimulationError,
     Timeout,
 )
+from .metrics import (
+    NULL_METRICS,
+    Metrics,
+    MetricsCollector,
+    NullMetrics,
+)
 from .resources import (
     CapacityQueue,
     Mutex,
@@ -17,6 +24,13 @@ from .resources import (
     TimelineResource,
 )
 from .stats import Counter, Histogram, RunningStat, geomean
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceRecorder,
+    Tracer,
+    validate_trace_document,
+)
 
 __all__ = [
     "AllOf",
@@ -27,12 +41,21 @@ __all__ = [
     "Event",
     "Histogram",
     "Interrupted",
+    "Metrics",
+    "MetricsCollector",
     "Mutex",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
     "OccupancyQueue",
     "Process",
     "RunningStat",
     "SimulationError",
     "Timeout",
     "TimelineResource",
+    "TraceRecorder",
+    "Tracer",
     "geomean",
+    "validate_trace_document",
 ]

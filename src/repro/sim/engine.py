@@ -19,6 +19,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from .metrics import NULL_METRICS, Metrics
+from .trace import NULL_TRACER, Tracer
+
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (double trigger, running a dead env...)."""
@@ -103,6 +106,10 @@ class AllOf(Event):
         for child in self._children:
             child.add_callback(self._on_child)
 
+    @property
+    def children(self) -> List[Event]:
+        return list(self._children)
+
     def _on_child(self, _event: Event) -> None:
         self._pending -= 1
         if self._pending == 0 and not (self._triggered or self._scheduled):
@@ -110,20 +117,31 @@ class AllOf(Event):
 
 
 class AnyOf(Event):
-    """Fires when the first child event fires; value is that child's value."""
+    """Fires when the first child event fires; value is that child's value.
 
-    __slots__ = ()
+    The child list is retained (mirroring :class:`AllOf`) and the
+    winning event is exposed as :attr:`first_fired`, so a process that
+    raced several events can tell which one actually woke it.
+    """
+
+    __slots__ = ("_children", "first_fired")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
-        children = list(events)
-        if not children:
+        self._children = list(events)
+        self.first_fired: Optional[Event] = None
+        if not self._children:
             raise SimulationError("AnyOf needs at least one event")
-        for child in children:
+        for child in self._children:
             child.add_callback(self._on_child)
+
+    @property
+    def children(self) -> List[Event]:
+        return list(self._children)
 
     def _on_child(self, event: Event) -> None:
         if not (self._triggered or self._scheduled):
+            self.first_fired = event
             self.succeed(event.value)
 
 
@@ -182,10 +200,21 @@ class Interrupted(Exception):
 
 
 class Environment:
-    """Owns the clock and the event heap and drives the simulation."""
+    """Owns the clock and the event heap and drives the simulation.
 
-    def __init__(self) -> None:
+    Also the anchor for observability: every component reachable from
+    the environment shares its ``trace`` (:class:`~repro.sim.trace.Tracer`)
+    and ``metrics`` (:class:`~repro.sim.metrics.Metrics`).  Both default
+    to the shared null singletons, so an uninstrumented run pays one
+    ``enabled`` attribute check per guarded site and nothing more.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 metrics: Optional[Metrics] = None) -> None:
         self.now: int = 0
+        self.trace: Tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics: Metrics = (NULL_METRICS if metrics is None
+                                 else metrics)
         self._heap: List = []
         self._sequence = 0
 

@@ -1,0 +1,178 @@
+"""Cycle-windowed time-series metrics.
+
+A :class:`MetricsCollector` folds instrumented samples into fixed-width
+cycle windows so end-of-run results can show *when* things happened --
+persist-path occupancy racing the regular path, speculation-buffer
+residency, misspeculation bursts -- instead of only flat end-of-run
+counters.  Two series kinds:
+
+* **gauges** (:meth:`Metrics.sample`): instantaneous levels (queue
+  depth, buffer occupancy); each window keeps count/mean/min/max.
+* **counts** (:meth:`Metrics.count`): event totals per window
+  (misspeculations); dividing by the window width gives a rate.
+
+Windows are ring-buffered (``max_windows``): long runs keep the most
+recent history and report how many early windows were evicted.  Like
+tracing, collection is opt-in -- the shared :data:`NULL_METRICS`
+default makes every instrumented site a single ``enabled`` check.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+
+class Metrics:
+    """Interface + null behaviour (mirrors :class:`repro.sim.trace.Tracer`)."""
+
+    enabled = False
+
+    def sample(self, name: str, cycle: int, value: float) -> None:
+        """Record an instantaneous level of gauge ``name`` at ``cycle``."""
+
+    def count(self, name: str, cycle: int, amount: int = 1) -> None:
+        """Add ``amount`` occurrences to counter ``name`` at ``cycle``."""
+
+
+class NullMetrics(Metrics):
+    """The zero-overhead default: drops everything."""
+
+    __slots__ = ()
+
+
+#: Shared do-nothing instance.
+NULL_METRICS = NullMetrics()
+
+GAUGE = "gauge"
+COUNT = "count"
+
+
+class _Window:
+    """One aggregation window of a series."""
+
+    __slots__ = ("start", "n", "total", "minimum", "maximum")
+
+    def __init__(self, start: int):
+        self.start = start
+        self.n = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+
+class _Series:
+    """One named series: a ring buffer of closed windows plus the open one."""
+
+    __slots__ = ("kind", "windows", "current", "evicted")
+
+    def __init__(self, kind: str, max_windows: int):
+        self.kind = kind
+        self.windows: Deque[_Window] = deque(maxlen=max_windows)
+        self.current: Optional[_Window] = None
+        self.evicted = 0
+
+    def add(self, window_start: int, value: float) -> None:
+        window = self.current
+        if window is None or window.start != window_start:
+            if window is not None:
+                if len(self.windows) == self.windows.maxlen:
+                    self.evicted += 1
+                self.windows.append(window)
+            window = _Window(window_start)
+            self.current = window
+        window.add(value)
+
+    def closed_and_current(self) -> List[_Window]:
+        out = list(self.windows)
+        if self.current is not None:
+            out.append(self.current)
+        return out
+
+
+class MetricsCollector(Metrics):
+    """Aggregates samples into cycle windows, ring-buffered per series.
+
+    ``window_cycles`` is the aggregation width; ``max_windows`` bounds
+    per-series memory (oldest windows are evicted and counted).
+    """
+
+    enabled = True
+
+    def __init__(self, window_cycles: int = 10_000,
+                 max_windows: int = 512):
+        if window_cycles < 1:
+            raise ValueError("window_cycles must be >= 1")
+        if max_windows < 1:
+            raise ValueError("max_windows must be >= 1")
+        self.window_cycles = window_cycles
+        self.max_windows = max_windows
+        self._series: Dict[str, _Series] = {}
+
+    def _series_for(self, name: str, kind: str) -> _Series:
+        series = self._series.get(name)
+        if series is None:
+            series = _Series(kind, self.max_windows)
+            self._series[name] = series
+        elif series.kind != kind:
+            raise ValueError(
+                f"series {name!r} is a {series.kind}, not a {kind}")
+        return series
+
+    def _window_start(self, cycle: int) -> int:
+        return (cycle // self.window_cycles) * self.window_cycles
+
+    def sample(self, name: str, cycle: int, value: float) -> None:
+        self._series_for(name, GAUGE).add(self._window_start(cycle), value)
+
+    def count(self, name: str, cycle: int, amount: int = 1) -> None:
+        self._series_for(name, COUNT).add(self._window_start(cycle), amount)
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def series_names(self) -> List[str]:
+        return sorted(self._series)
+
+    def windows(self, name: str) -> List[Dict]:
+        """The series' windows, oldest first, as plain dictionaries."""
+        series = self._series.get(name)
+        if series is None:
+            return []
+        out = []
+        for window in series.closed_and_current():
+            if series.kind == COUNT:
+                out.append({"start": window.start,
+                            "count": int(window.total)})
+            else:
+                out.append({
+                    "start": window.start,
+                    "n": window.n,
+                    "mean": window.total / window.n,
+                    "min": window.minimum,
+                    "max": window.maximum,
+                })
+        return out
+
+    def to_dict(self) -> Dict:
+        """JSON-ready export (the ``SimResult.timeseries`` payload)."""
+        return {
+            "window_cycles": self.window_cycles,
+            "series": {
+                name: {
+                    "kind": series.kind,
+                    "evicted_windows": series.evicted,
+                    "windows": self.windows(name),
+                }
+                for name, series in sorted(self._series.items())
+            },
+        }

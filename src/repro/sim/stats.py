@@ -90,16 +90,30 @@ class Histogram:
         return self.stat.count
 
     def percentile(self, fraction: float) -> float:
-        """Approximate percentile from bucket midpoints."""
+        """Approximate percentile from bucket midpoints.
+
+        Overflow records (values past the last bucket) are part of
+        ``count`` but are not scanned bucket-by-bucket; they form a
+        virtual final bucket whose only known statistic is the stream
+        maximum.  Any target rank landing in that overflow mass
+        therefore reports ``stat.maximum`` rather than the last
+        in-range bucket.  Empty leading buckets are skipped so low
+        fractions report the first *populated* bucket, not bucket 0.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
         if self.count == 0:
             return 0.0
         target = fraction * self.count
+        in_range = self.count - self.overflow
+        if target > in_range:
+            # seen + overflow crosses the target only once the scan is
+            # past every in-range record: the rank lives in overflow.
+            return self.stat.maximum
         seen = 0
         for index, population in enumerate(self.buckets):
             seen += population
-            if seen >= target:
+            if population and seen >= target:
                 return (index + 0.5) * self.bucket_width
         return self.stat.maximum
 

@@ -43,7 +43,8 @@ from .sim import Environment
 # Version of the SimResult.to_dict() payload.  Bump when fields are
 # added/renamed/removed: the harness result cache keys on it, and
 # from_dict() uses it to stay readable across versions.
-RESULT_SCHEMA_VERSION = 2
+# v3 added the optional ``timeseries`` section (cycle-windowed metrics).
+RESULT_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -62,6 +63,9 @@ class SimResult:
     spec_buffer_overflows: int
     freq_ghz: float
     stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    # Cycle-windowed time series (MetricsCollector.to_dict()); None when
+    # the run was not collected (schema v2 payloads load as None too).
+    timeseries: Optional[Dict] = None
 
     @property
     def seconds(self) -> float:
@@ -107,6 +111,7 @@ class SimResult:
             "stats": {section: counters
                       for section, counters in self.stats.items()
                       if section != "executor"},
+            "timeseries": self.timeseries,
         }
 
     @classmethod
@@ -124,7 +129,7 @@ class SimResult:
             "fases_committed": 0, "fases_aborted": 0,
             "load_misspeculations": 0, "store_misspeculations": 0,
             "stale_loads": 0, "spec_buffer_overflows": 0,
-            "freq_ghz": 2.0, "stats": None,
+            "freq_ghz": 2.0, "stats": None, "timeseries": None,
         }
         kwargs = {name: payload.get(name, fallback)
                   for name, fallback in defaults.items()}
@@ -147,7 +152,8 @@ class System:
     def __init__(self, config: SystemConfig, design: Design,
                  lowered: LoweredProgram,
                  recovery_mode: str = "lazy",
-                 record_history: bool = False):
+                 record_history: bool = False,
+                 tracer=None, metrics=None):
         if design.flavor != lowered.flavor:
             raise ValueError(
                 f"design {design.name} executes flavor {design.flavor!r} "
@@ -163,7 +169,17 @@ class System:
         self.lowered = lowered
         self.program = program
 
-        self.env = Environment()
+        self.env = Environment(tracer=tracer, metrics=metrics)
+        # Pre-register tracks in a stable order so trace tids (and
+        # therefore Perfetto row order) do not depend on which component
+        # happens to emit first: cores, persist path, PMC, spec buffer.
+        register_track = getattr(self.env.trace, "track_id", None)
+        if self.env.trace.enabled and register_track is not None:
+            for core_id in range(config.n_cores):
+                register_track(f"core{core_id}")
+            register_track("persist-path")
+            register_track("pmc")
+            register_track("spec-buffer")
         self.device = PMDevice(program.initial_heap,
                                record_history=record_history)
         self.image = MemoryImage(program.initial_heap)
@@ -174,11 +190,14 @@ class System:
             SpeculationBuffer(
                 config.spec_buffer_entries,
                 config.speculation_window_cycles,
-                stall=self.stall, report=self._report_misspeculation)
-            for _ in range(config.n_pm_controllers)]
+                stall=self.stall, report=self._report_misspeculation,
+                tracer=self.env.trace, metrics=self.env.metrics,
+                name=f"spec-buffer{index}")
+            for index in range(config.n_pm_controllers)]
         self.spec_buffer = self.spec_buffers[0]
         self.spec_ids = SpecIdFile(config.n_cores)
-        self.persist_path = PersistPath(config, config.n_cores)
+        self.persist_path = PersistPath(config, config.n_cores,
+                                        metrics=self.env.metrics)
         self.lock_network = LockNetwork(config)
         from .sim import Mutex
         self.locks = [Mutex(self.env, name=f"lock{i}")
@@ -218,6 +237,10 @@ class System:
 
     def _report_misspeculation(self, event: MisspeculationEvent) -> None:
         """Hardware detection -> OS interrupt -> runtime (§6.1)."""
+        if self.env.metrics.enabled:
+            self.env.metrics.count("misspeculations", self.env.now)
+            self.env.metrics.count(f"{event.kind}_misspeculations",
+                                   self.env.now)
         self.interrupts.raise_misspeculation(event, self.env.now)
 
     # --------------------------------------------------------------- run
@@ -247,6 +270,11 @@ class System:
         for core in self.cores:
             core_stats[f"core{core.core_id}"] = core.stats.as_dict()
         stats["cores"] = core_stats
+        timeseries = None
+        if self.env.metrics.enabled:
+            to_dict = getattr(self.env.metrics, "to_dict", None)
+            if to_dict is not None:
+                timeseries = to_dict()
         return SimResult(
             design=self.design.name,
             workload=self.program.name,
@@ -262,6 +290,7 @@ class System:
             spec_buffer_overflows=self._spec_buffer_stats()["overflows"],
             freq_ghz=self.config.freq_ghz,
             stats=stats,
+            timeseries=timeseries,
         )
 
     def _spec_buffer_stats(self):
@@ -280,11 +309,13 @@ def build_system(program: Program, design: Design,
                  config: Optional[SystemConfig] = None,
                  recovery_mode: str = "lazy",
                  record_history: bool = False,
-                 log_mode: str = "undo") -> System:
+                 log_mode: str = "undo",
+                 tracer=None, metrics=None) -> System:
     """Convenience: lower ``program`` for ``design`` and assemble."""
     from .config import table3_config
     if config is None:
         config = table3_config(n_cores=program.n_threads)
     lowered = lower_program(program, design.flavor, log_mode=log_mode)
     return System(config, design, lowered, recovery_mode=recovery_mode,
-                  record_history=record_history)
+                  record_history=record_history,
+                  tracer=tracer, metrics=metrics)

@@ -19,14 +19,15 @@ import sys
 
 from ..compiler import fase_profile, lower_fase
 from ..isa import disassemble_fase
+from ..telemetry import console
 from . import BENCHMARKS, workload_by_name
 
 
 def list_benchmarks() -> None:
-    print("Table 4 benchmarks:")
+    console("Table 4 benchmarks:")
     for name, cls in BENCHMARKS.items():
         kind = "locks" if cls.uses_locks else "transactions"
-        print(f"  {name:<12} {cls.description}  [{kind}]")
+        console(f"  {name:<12} {cls.description}  [{kind}]")
 
 
 def inspect(name: str, flavor: str, fase_index: int, threads: int,
@@ -36,21 +37,21 @@ def inspect(name: str, flavor: str, fase_index: int, threads: int,
     fases = program.threads[0].fases
     fase = fases[min(fase_index, len(fases) - 1)]
 
-    print(f"{name}: {program.n_threads} threads x "
-          f"{len(fases)} FASEs, {program.n_locks} locks, "
-          f"{len(program.initial_heap)} initialised words")
+    console(f"{name}: {program.n_threads} threads x "
+            f"{len(fases)} FASEs, {program.n_locks} locks, "
+            f"{len(program.initial_heap)} initialised words")
     total_ops = sum(len(f) for t in program.threads for f in t.fases)
-    print(f"average ops/FASE: {total_ops / program.total_fases:.1f}")
-    print()
+    console(f"average ops/FASE: {total_ops / program.total_fases:.1f}")
+    console()
     profile = fase_profile(fase)
-    print(f"FASE {fase.fase_id} ({fase.label}): {profile}")
-    print()
+    console(f"FASE {fase.fase_id} ({fase.label}): {profile}")
+    console()
     if flavor:
         lowered = lower_fase(fase, 0, flavor, epoch=fase_index)
-        print(disassemble_fase(lowered))
+        console(disassemble_fase(lowered))
     else:
         for op in fase.ops:
-            print(f"  {op!r}")
+            console(f"  {op!r}")
 
 
 def main(argv=None) -> int:

@@ -38,3 +38,42 @@ def test_cli_no_cache_flag(tmp_path):
                  "3", "--no-cache", "--save", str(save)]) == 0
     assert (save / "fig9.json").exists()
     assert not list(tmp_path.glob("**/cache*"))
+
+
+def test_cli_trace_writes_valid_chrome_trace(tmp_path, capsys):
+    """Acceptance: the trace command emits schema-valid trace JSON."""
+    import json
+
+    from repro.sim import validate_trace_document
+
+    out = tmp_path / "t.json"
+    assert main(["trace", "array_swaps", "--design", "PMEMSpec",
+                 "--trace-out", str(out)]) == 0
+    assert "trace written to" in capsys.readouterr().out
+    document = json.loads(out.read_text())
+    assert validate_trace_document(document) == []
+    spans = [e for e in document["traceEvents"]
+             if e.get("ph") == "X" and e.get("cat") == "persist-path"]
+    assert len(spans) >= 1
+
+
+def test_cli_metrics_summary_sparklines(capsys):
+    assert main(["metrics", "array_swaps", "--design", "PMEM-Spec",
+                 "--threads", "2", "--summary",
+                 "--metrics-window", "5000"]) == 0
+    out = capsys.readouterr().out
+    assert "Time series" in out
+    assert "wpq_depth" in out
+
+
+def test_cli_metrics_json(capsys):
+    import json
+
+    assert main(["metrics", "array_swaps", "--design", "PMEM-Spec",
+                 "--threads", "2"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "series" in payload and "window_cycles" in payload
+
+
+def test_cli_trace_unknown_benchmark_is_user_error(capsys):
+    assert main(["trace", "not_a_benchmark"]) == 2

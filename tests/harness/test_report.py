@@ -1,0 +1,136 @@
+"""Golden-string and edge-case tests for the ASCII report renderers."""
+
+import pytest
+
+from repro.harness.report import (
+    format_bar_chart,
+    format_normalized_table,
+    format_series,
+    format_timeseries,
+    sparkline,
+)
+
+
+class TestFormatNormalizedTable:
+    ROWS = {
+        "tpcc": {"IntelX86": 1.0, "PMEM-Spec": 1.5},
+        "queue": {"IntelX86": 1.0, "PMEM-Spec": 2.0},
+    }
+
+    def test_golden(self):
+        out = format_normalized_table(self.ROWS, ["IntelX86", "PMEM-Spec"],
+                                      "Title")
+        lines = out.splitlines()
+        assert lines[0] == "Title"
+        assert lines[2].split() == ["benchmark", "IntelX86", "PMEM-Spec"]
+        assert lines[4].split() == ["tpcc", "1.000", "1.500"]
+        assert lines[5].split() == ["queue", "1.000", "2.000"]
+        # Geomean row: sqrt(1.5 * 2.0) = 1.732.
+        assert lines[7].split() == ["geomean", "1.000", "1.732"]
+
+    def test_column_alignment(self):
+        out = format_normalized_table(self.ROWS, ["IntelX86"], "T")
+        data_lines = [l for l in out.splitlines()
+                      if l and l[0] not in "T=-"]
+        assert len({len(l) for l in data_lines}) == 1
+
+
+class TestFormatSeries:
+    def test_scalar_values(self):
+        out = format_series({8: 1.25, 16: 2.5}, "cores", "speedup", "S")
+        assert "               8 | 1.250" in out
+        assert "              16 | 2.500" in out
+        assert out.splitlines()[2] == f"{'cores':>16} | speedup"
+
+    def test_dict_values(self):
+        out = format_series({"x": {"a": 1.0, "b": 2.0}}, "k", "v", "S")
+        assert "a=1.000  b=2.000" in out
+
+    def test_empty_points_render_header_only(self):
+        out = format_series({}, "x", "y", "Empty")
+        assert out.splitlines()[0] == "Empty"
+        assert len(out.splitlines()) == 4
+
+
+class TestFormatBarChart:
+    def test_golden_proportions(self):
+        out = format_bar_chart({"a": 1.0, "b": 2.0}, "Bars", width=10)
+        lines = out.splitlines()
+        assert lines[2].count("#") == 5
+        assert lines[3].count("#") == 10
+
+    def test_reference_tick(self):
+        out = format_bar_chart({"a": 2.0}, "Bars", width=10, reference=1.0)
+        bar_line = out.splitlines()[2]
+        assert "|" in bar_line
+
+    def test_reference_past_bar_padded(self):
+        out = format_bar_chart({"short": 0.2, "long": 2.0}, "B",
+                               width=10, reference=1.0)
+        short_line = out.splitlines()[3 if "short" in
+                                      out.splitlines()[3] else 2]
+        assert "|" in short_line
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart({}, "nope")
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart({"a": 0.0}, "nope")
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_lowest_tick(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_monotone_ramp(self):
+        out = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert out == "▁▂▃▄▅▆▇█"
+
+    def test_downsamples_long_series(self):
+        out = sparkline(list(range(1000)), width=20)
+        assert len(out) == 20
+        assert out[0] == "▁" and out[-1] == "█"
+
+    def test_short_series_one_tick_per_value(self):
+        assert len(sparkline([1, 2], width=60)) == 2
+
+
+class TestFormatTimeseries:
+    PAYLOAD = {
+        "window_cycles": 100,
+        "series": {
+            "depth": {"kind": "gauge", "evicted_windows": 0,
+                      "windows": [
+                          {"start": 0, "n": 2, "mean": 1.0,
+                           "min": 0, "max": 2},
+                          {"start": 100, "n": 1, "mean": 3.0,
+                           "min": 3, "max": 3},
+                      ]},
+            "events": {"kind": "count", "evicted_windows": 2,
+                       "windows": [{"start": 0, "count": 4}]},
+        },
+    }
+
+    def test_renders_each_series(self):
+        out = format_timeseries(self.PAYLOAD, "TS")
+        assert "window: 100 cycles" in out
+        assert "depth" in out and "events" in out
+        assert "min=1 max=3" in out
+        assert "(+2 evicted)" in out
+
+    def test_empty_payload(self):
+        out = format_timeseries({}, "TS")
+        assert "no time-series data" in out
+        out = format_timeseries(None, "TS")
+        assert "no time-series data" in out
+
+    def test_empty_series_window_list(self):
+        out = format_timeseries(
+            {"window_cycles": 10,
+             "series": {"x": {"kind": "gauge", "windows": []}}}, "TS")
+        assert "(empty)" in out

@@ -254,3 +254,54 @@ def test_many_processes_independent_clocks():
         env.process(proc(pid, pid * 3))
     env.run()
     assert finish == {pid: pid * 3 for pid in range(50)}
+
+
+def test_any_of_retains_children():
+    env = Environment()
+    first, second = env.timeout(5), env.timeout(2)
+    race = env.any_of([first, second])
+    assert race.children == [first, second]
+    env.run()
+    # Children survive the trigger (mirrors AllOf).
+    assert race.children == [first, second]
+
+
+def test_any_of_exposes_first_fired():
+    env = Environment()
+    slow, fast = env.timeout(5), env.timeout(2)
+    race = env.any_of([slow, fast])
+    assert race.first_fired is None
+    env.run()
+    assert race.first_fired is fast
+    assert race.triggered
+
+
+def test_any_of_first_fired_value_matches():
+    env = Environment()
+    manual = env.event()
+    timeout = env.timeout(50)
+    race = env.any_of([manual, timeout])
+
+    def trigger():
+        yield env.timeout(1)
+        manual.succeed("winner")
+
+    env.process(trigger())
+    env.run()
+    assert race.first_fired is manual
+    assert race.value == "winner"
+
+
+def test_any_of_empty_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.any_of([])
+
+
+def test_all_of_retains_children():
+    env = Environment()
+    a, b = env.timeout(1), env.timeout(2)
+    joined = env.all_of([a, b])
+    assert joined.children == [a, b]
+    env.run()
+    assert joined.children == [a, b]

@@ -1,0 +1,137 @@
+"""Windowed metrics collector unit tests."""
+
+import pytest
+
+from repro.harness.sweep import RunSpec, execute_spec
+from repro.sim import (
+    Metrics,
+    MetricsCollector,
+    NULL_METRICS,
+    NullMetrics,
+)
+
+
+class TestNullMetrics:
+    def test_disabled(self):
+        assert Metrics.enabled is False
+        assert NullMetrics.enabled is False
+        assert NULL_METRICS.enabled is False
+
+    def test_methods_are_noops(self):
+        NULL_METRICS.sample("x", 1, 2.0)
+        NULL_METRICS.count("x", 1)
+
+
+class TestMetricsCollector:
+    def test_enabled(self):
+        assert MetricsCollector().enabled is True
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(window_cycles=0)
+        with pytest.raises(ValueError):
+            MetricsCollector(max_windows=0)
+
+    def test_gauge_window_aggregation(self):
+        m = MetricsCollector(window_cycles=100)
+        m.sample("depth", 10, 4)
+        m.sample("depth", 90, 8)
+        m.sample("depth", 150, 2)
+        windows = m.windows("depth")
+        assert len(windows) == 2
+        first, second = windows
+        assert first["start"] == 0
+        assert first["n"] == 2
+        assert first["mean"] == pytest.approx(6.0)
+        assert first["min"] == 4 and first["max"] == 8
+        assert second["start"] == 100
+        assert second["mean"] == pytest.approx(2.0)
+
+    def test_count_windows(self):
+        m = MetricsCollector(window_cycles=50)
+        m.count("misspec", 10)
+        m.count("misspec", 20, amount=2)
+        m.count("misspec", 60)
+        windows = m.windows("misspec")
+        assert [w["count"] for w in windows] == [3, 1]
+        assert [w["start"] for w in windows] == [0, 50]
+
+    def test_kind_conflict_rejected(self):
+        m = MetricsCollector()
+        m.sample("x", 1, 1.0)
+        with pytest.raises(ValueError):
+            m.count("x", 2)
+
+    def test_ring_buffer_evicts_oldest(self):
+        m = MetricsCollector(window_cycles=10, max_windows=3)
+        for cycle in range(0, 60, 10):  # six windows
+            m.sample("g", cycle, cycle)
+        windows = m.windows("g")
+        # 3 closed (ring) + the open current window.
+        assert len(windows) == 4
+        assert windows[0]["start"] == 20
+        assert m.to_dict()["series"]["g"]["evicted_windows"] == 2
+
+    def test_unknown_series_empty(self):
+        assert MetricsCollector().windows("nope") == []
+
+    def test_to_dict_shape(self):
+        m = MetricsCollector(window_cycles=10)
+        m.sample("gauge_series", 5, 1.0)
+        m.count("count_series", 5)
+        payload = m.to_dict()
+        assert payload["window_cycles"] == 10
+        assert set(payload["series"]) == {"gauge_series", "count_series"}
+        assert payload["series"]["gauge_series"]["kind"] == "gauge"
+        assert payload["series"]["count_series"]["kind"] == "count"
+
+    def test_series_names_sorted(self):
+        m = MetricsCollector()
+        m.sample("zeta", 1, 1)
+        m.sample("alpha", 1, 1)
+        assert m.series_names == ["alpha", "zeta"]
+
+
+class TestCollectedSimulation:
+    def test_run_folds_timeseries_into_result(self):
+        metrics = MetricsCollector(window_cycles=5000)
+        result = execute_spec(
+            RunSpec(benchmark="array_swaps", design="PMEM-Spec",
+                    n_threads=2, fases_per_thread=30, seed=7),
+            metrics=metrics)
+        assert result.timeseries is not None
+        series = result.timeseries["series"]
+        assert "persist_path_depth" in series
+        assert "wpq_depth" in series
+        assert "spec_buffer_occupancy" in series
+        # Serialises: the payload is part of to_dict() under schema v3.
+        payload = result.to_dict()
+        assert payload["schema_version"] == 3
+        assert payload["timeseries"] == result.timeseries
+
+    def test_uncollected_run_has_no_timeseries(self):
+        result = execute_spec(
+            RunSpec(benchmark="array_swaps", design="PMEM-Spec",
+                    n_threads=2, fases_per_thread=10, seed=7))
+        assert result.timeseries is None
+
+    def test_collection_does_not_change_timing(self):
+        spec = RunSpec(benchmark="queue", design="PMEM-Spec",
+                       n_threads=2, fases_per_thread=20, seed=11)
+        plain = execute_spec(spec)
+        collected = execute_spec(spec, metrics=MetricsCollector())
+        assert collected.cycles == plain.cycles
+
+    def test_misspeculation_counts_match_series(self):
+        from repro.workloads import LoadMisspecProbe
+        metrics = MetricsCollector(window_cycles=5000)
+        result = execute_spec(
+            RunSpec(benchmark=LoadMisspecProbe.name, design="PMEM-Spec",
+                    n_threads=2, fases_per_thread=10, seed=42,
+                    config=LoadMisspecProbe.recommended_config(2, True)),
+            metrics=metrics)
+        assert result.load_misspeculations >= 1
+        series = result.timeseries["series"]["misspeculations"]
+        assert series["kind"] == "count"
+        total = sum(w["count"] for w in series["windows"])
+        assert total == result.misspeculations

@@ -123,3 +123,60 @@ class TestGeomean:
         values = [2.0, 8.0, 32.0]
         assert math.log(geomean(values)) == pytest.approx(
             sum(math.log(v) for v in values) / 3)
+
+
+class TestHistogramOverflowPercentile:
+    """Regression: percentile() must account for overflow records.
+
+    Overflow records are part of ``count`` but live past the last
+    bucket; a rank landing in that mass must report the stream maximum,
+    not whatever the bucket scan falls back to, and low fractions must
+    not report an *empty* leading bucket's midpoint."""
+
+    def test_rank_in_overflow_reports_maximum(self):
+        h = Histogram(bucket_width=10, max_buckets=4)
+        for v in [5, 15, 25]:
+            h.record(v)
+        for v in [100, 200, 300]:  # overflow (>= 40)
+            h.record(v)
+        # p99 of 6 records: rank 5.94 > 3 in-range records.
+        assert h.percentile(0.99) == 300
+        assert h.percentile(0.75) == 300
+        # Ranks inside the bucketed range still use midpoints
+        # (rank 3 of 6 is the third in-range record, bucket 2).
+        assert h.percentile(0.5) == pytest.approx(25.0)
+        assert h.percentile(1 / 6) == pytest.approx(5.0)
+
+    def test_all_overflow(self):
+        h = Histogram(bucket_width=1, max_buckets=2)
+        for v in [10, 20, 30]:
+            h.record(v)
+        assert h.percentile(0.5) == 30
+        assert h.percentile(0.99) == 30
+
+    def test_low_fraction_skips_empty_leading_buckets(self):
+        h = Histogram(bucket_width=10, max_buckets=10)
+        for _ in range(10):
+            h.record(55)  # bucket 5 only
+        # fraction=0 -> target rank 0: first populated bucket, not
+        # bucket 0's midpoint.
+        assert h.percentile(0.0) == pytest.approx(55.0)
+        assert h.percentile(0.1) == pytest.approx(55.0)
+
+    def test_no_overflow_unchanged(self):
+        h = Histogram(bucket_width=10, max_buckets=10)
+        for v in [5, 15, 25, 35]:
+            h.record(v)
+        assert h.percentile(1.0) == pytest.approx(35.0)
+        assert h.percentile(0.25) == pytest.approx(5.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), min_size=1,
+                    max_size=60),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_percentile_never_exceeds_maximum(self, values, fraction):
+        h = Histogram(bucket_width=10, max_buckets=4)
+        for v in values:
+            h.record(v)
+        p = h.percentile(fraction)
+        # Midpoint approximation can round up by at most half a bucket.
+        assert p <= max(values) + h.bucket_width / 2

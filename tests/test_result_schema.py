@@ -1,0 +1,76 @@
+"""SimResult schema versioning: v2 and v3 payloads must both load."""
+
+import pytest
+
+from repro.system import RESULT_SCHEMA_VERSION, SimResult
+
+
+def make_result(**overrides):
+    kwargs = dict(design="PMEM-Spec", workload="tpcc", n_cores=8,
+                  cycles=1000, fases_committed=40, fases_aborted=2,
+                  load_misspeculations=1, store_misspeculations=0,
+                  stale_loads=3, spec_buffer_overflows=0, freq_ghz=2.0,
+                  stats={"pmc": {"persists": 9}})
+    kwargs.update(overrides)
+    return SimResult(**kwargs)
+
+
+class TestSchemaV3:
+    def test_version_is_three(self):
+        assert RESULT_SCHEMA_VERSION == 3
+
+    def test_round_trip_with_timeseries(self):
+        timeseries = {"window_cycles": 100,
+                      "series": {"wpq_depth": {"kind": "gauge",
+                                               "evicted_windows": 0,
+                                               "windows": []}}}
+        original = make_result(timeseries=timeseries)
+        payload = original.to_dict()
+        assert payload["schema_version"] == 3
+        restored = SimResult.from_dict(payload)
+        assert restored == original
+
+    def test_round_trip_without_timeseries(self):
+        original = make_result()
+        restored = SimResult.from_dict(original.to_dict())
+        assert restored == original
+        assert restored.timeseries is None
+
+
+class TestSchemaV2Compat:
+    """A v2 payload (no ``timeseries`` key) must still load."""
+
+    def test_v2_payload_loads(self):
+        payload = make_result().to_dict()
+        del payload["timeseries"]
+        payload["schema_version"] = 2
+        restored = SimResult.from_dict(payload)
+        assert restored.timeseries is None
+        assert restored.cycles == 1000
+        assert restored.fases_committed == 40
+
+    def test_v2_then_v3_round_trip(self):
+        payload = make_result().to_dict()
+        del payload["timeseries"]
+        payload["schema_version"] = 2
+        upgraded = SimResult.from_dict(payload).to_dict()
+        assert upgraded["schema_version"] == 3
+        assert upgraded["timeseries"] is None
+
+    def test_v1_payload_still_loads(self):
+        payload = {"design": "IntelX86", "workload": "queue",
+                   "n_cores": 4, "cycles": 10,
+                   "fases_committed": 1, "fases_aborted": 0}
+        restored = SimResult.from_dict(payload)
+        assert restored.freq_ghz == 2.0
+        assert restored.timeseries is None
+
+    def test_throughput_survives_round_trip(self):
+        original = make_result()
+        restored = SimResult.from_dict(original.to_dict())
+        assert restored.throughput == pytest.approx(original.throughput)
+
+    def test_executor_stats_excluded_from_payload(self):
+        result = make_result()
+        result.stats["executor"] = {"elapsed_s": 1.23}
+        assert "executor" not in result.to_dict()["stats"]

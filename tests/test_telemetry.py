@@ -1,0 +1,84 @@
+"""Telemetry: logger hierarchy, run context stamping, console output."""
+
+import logging
+
+from repro.telemetry import (
+    RunContextFilter,
+    configure_logging,
+    console,
+    get_logger,
+    run_context,
+)
+
+
+class TestGetLogger:
+    def test_prefixes_short_names(self):
+        assert get_logger("harness").name == "repro.harness"
+
+    def test_keeps_full_names(self):
+        assert get_logger("repro.sim").name == "repro.sim"
+        assert get_logger("repro").name == "repro"
+
+
+class TestRunContext:
+    def record(self):
+        record = logging.LogRecord("repro.t", logging.INFO, __file__, 1,
+                                   "msg", (), None)
+        RunContextFilter().filter(record)
+        return record
+
+    def test_default_dashes(self):
+        record = self.record()
+        assert record.run_id == "-"
+        assert record.spec_hash == "-"
+
+    def test_context_stamps_records(self):
+        with run_context(run_id="fig9", spec_hash="abc123"):
+            record = self.record()
+        assert record.run_id == "fig9"
+        assert record.spec_hash == "abc123"
+
+    def test_context_restores_on_exit(self):
+        with run_context(run_id="outer"):
+            with run_context(run_id="inner"):
+                assert self.record().run_id == "inner"
+            assert self.record().run_id == "outer"
+        assert self.record().run_id == "-"
+
+    def test_partial_context(self):
+        with run_context(spec_hash="only-hash"):
+            record = self.record()
+        assert record.run_id == "-"
+        assert record.spec_hash == "only-hash"
+
+
+class TestConfigureLogging:
+    def test_idempotent_handler_install(self):
+        root = configure_logging(logging.INFO)
+        configure_logging(logging.DEBUG)
+        ours = [h for h in root.handlers
+                if getattr(h, "_repro_telemetry", False)]
+        assert len(ours) == 1
+        assert root.level == logging.DEBUG
+
+    def test_diagnostics_go_to_stderr_not_stdout(self, capsys):
+        configure_logging(logging.INFO)
+        get_logger("test").info("diagnostic line")
+        captured = capsys.readouterr()
+        assert "diagnostic line" not in captured.out
+        assert "diagnostic line" in captured.err
+
+    def test_format_includes_run_context(self, capsys):
+        configure_logging(logging.INFO)
+        with run_context(run_id="fig9", spec_hash="deadbeef"):
+            get_logger("test").info("hello")
+        assert "[fig9 deadbeef]" in capsys.readouterr().err
+
+
+class TestConsole:
+    def test_writes_to_stdout_at_call_time(self, capsys):
+        console("data line")
+        console()
+        captured = capsys.readouterr()
+        assert captured.out == "data line\n\n"
+        assert captured.err == ""
