@@ -13,6 +13,8 @@ Usage::
     python -m repro.harness trace array_swaps --design PMEMSpec \
         --trace-out trace.json
     python -m repro.harness metrics tpcc --design PMEM-Spec --summary
+    python -m repro.harness validate --planner stratified --budget 200 \
+        --jobs 4 --report-out campaign.json
 
 ``--jobs N`` fans the experiment grid out over N worker processes
 (``0`` = all cores).  Results are cached per grid cell (keyed by a
@@ -274,6 +276,38 @@ def cmd_metrics(args) -> None:
         console(json.dumps(result.timeseries or {}, indent=2))
 
 
+def cmd_validate(args) -> int:
+    """Crash-consistency campaign over benchmarks x designs (exits 1 on
+    any violation, so CI can gate on it)."""
+    from ..validation import run_campaign
+    from .report import format_campaign_table
+    benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+    designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    progress_log = get_logger("validation.progress")
+    with run_context(run_id="validate"):
+        report = run_campaign(
+            benchmarks, designs,
+            planner=args.planner, fault=args.fault, budget=args.budget,
+            seed=args.seed, n_threads=args.val_threads,
+            fases_per_thread=args.val_fases, log_mode=args.log_mode,
+            shrink=args.shrink, executor=args.executor,
+            progress=progress_log.info if args.progress else None)
+    console(format_campaign_table(
+        report.rows(),
+        f"Crash-consistency campaign: fault={args.fault} "
+        f"planner={args.planner} budget={args.budget}/cell"))
+    console()
+    status = "CONSISTENT" if report.consistent else (
+        f"{report.total_failures} FAILING TRIALS "
+        f"{report.violation_kinds()}")
+    console(f"{report.total_trials} trials in {report.elapsed_s:.1f}s: "
+            f"{status}")
+    if args.report_out:
+        report.save(args.report_out)
+        console(f"campaign report written to {args.report_out}")
+    return 0 if report.consistent else 1
+
+
 def cmd_all(args) -> None:
     cmd_table3(args)
     console()
@@ -302,6 +336,7 @@ COMMANDS = {
     "run": cmd_run,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "validate": cmd_validate,
     "all": cmd_all,
 }
 
@@ -348,6 +383,40 @@ def main(argv=None) -> int:
     parser.add_argument("--summary", action="store_true",
                         help="metrics command: sparkline summary instead "
                              "of JSON")
+    from ..validation.faults import FAULT_NAMES
+    from ..validation.planners import PLANNER_NAMES
+    parser.add_argument("--planner", default="stratified",
+                        choices=PLANNER_NAMES,
+                        help="validate command: crash-cycle planner")
+    parser.add_argument("--fault", default="power-cut",
+                        choices=FAULT_NAMES,
+                        help="validate command: fault model to inject")
+    parser.add_argument("--budget", type=int, default=200,
+                        help="validate command: trial budget per "
+                             "workload x design cell (default 200)")
+    parser.add_argument("--shrink", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="validate command: shrink failing crash "
+                             "cycles to a minimal reproducer")
+    parser.add_argument("--benchmarks",
+                        default="array_swaps,queue,hashmap,rbtree",
+                        help="validate command: comma-separated benchmark "
+                             "list")
+    parser.add_argument("--designs", default=",".join(DESIGNS),
+                        help="validate command: comma-separated design "
+                             "list (default: all)")
+    parser.add_argument("--val-threads", type=int, default=2,
+                        help="validate command: threads per trial "
+                             "(default 2)")
+    parser.add_argument("--val-fases", type=int, default=10,
+                        help="validate command: FASEs per thread per "
+                             "trial (default 10)")
+    parser.add_argument("--log-mode", default="undo",
+                        choices=("undo", "redo"),
+                        help="validate command: logging flavor under test")
+    parser.add_argument("--report-out", default=None, metavar="FILE",
+                        help="validate command: write the CampaignReport "
+                             "JSON artifact here")
     parser.add_argument("--log-level", default="info",
                         choices=("debug", "info", "warning", "error"),
                         help="diagnostic verbosity on stderr")
@@ -365,13 +434,13 @@ def main(argv=None) -> int:
         cache_dir=cache_dir,
         progress=progress_log.info if args.progress else None)
     try:
-        COMMANDS[args.experiment](args)
+        status = COMMANDS[args.experiment](args)
     except ValueError as exc:
         # Bad spec inputs (unknown design/benchmark, config mismatch)
         # are user errors, not crashes.
         log.error("%s", exc)
         return 2
-    return 0
+    return status or 0
 
 
 if __name__ == "__main__":

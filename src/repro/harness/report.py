@@ -130,6 +130,23 @@ def format_timeseries(timeseries: Dict, title: str,
     return "\n".join(lines)
 
 
+def format_campaign_table(rows: List[Dict], title: str) -> str:
+    """Per-cell summary of a crash-consistency campaign (plain dicts
+    from :meth:`repro.validation.CampaignReport.rows`, so the harness
+    never imports the validation package)."""
+    header = (f"{'workload':<22}{'design':<14}{'trials':>7}{'fail':>6}"
+              f"{'min cycle':>11}  violations")
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for row in rows:
+        minimal = row.get("minimal_cycle")
+        lines.append(
+            f"{row['workload']:<22}{row['design']:<14}"
+            f"{row['trials']:>7}{row['failures']:>6}"
+            f"{minimal if minimal is not None else '-':>11}  "
+            f"{row['violation_kinds']}")
+    return "\n".join(lines)
+
+
 def format_misspec_table(rows: List[Dict], title: str) -> str:
     """Misspeculation-rate report (§8.4)."""
     header = (f"{'workload':<22}{'config':<18}{'load':>6}{'store':>7}"

@@ -375,6 +375,21 @@ def _pool_worker(item: Tuple[int, RunSpec]):
                 time.perf_counter() - start)
 
 
+def _map_worker(item: Tuple[int, Callable, object]):
+    index, fn, arg = item
+    start = time.perf_counter()
+    try:
+        return index, "ok", fn(arg), time.perf_counter() - start
+    except Exception:
+        return (index, "err", traceback.format_exc(),
+                time.perf_counter() - start)
+
+
+#: Distinguishes "no result yet" from a legitimate ``None`` result in
+#: :meth:`ParallelExecutor.map`'s OSError fallback.
+_UNSET = object()
+
+
 class ParallelExecutor:
     """Executes sweeps; the only way experiments run simulations.
 
@@ -487,6 +502,67 @@ class ParallelExecutor:
             info["jobs"] = self.jobs
             result.stats["executor"] = info
         return SweepResult(specs, results, stats)
+
+    # -------------------------------------------------------------- map
+
+    def map(self, fn: Callable, items: Sequence,
+            describe: Optional[Callable[[object], str]] = None) -> List:
+        """Apply a picklable ``fn`` to every item, in order.
+
+        The generic sibling of :meth:`run` for non-``RunSpec`` work (the
+        validation campaign's crash trials fan out through this): same
+        pool/serial split, same per-item serial retry with the worker
+        traceback attached on a second failure, same OSError degradation
+        to serial -- but no disk cache and plain return values instead of
+        :class:`SimResult`.  ``fn`` and each item must survive pickling
+        when ``jobs > 1``.
+        """
+        items = list(items)
+        results: List = [_UNSET] * len(items)
+        done = 0
+
+        def note(index: int, how: str) -> None:
+            nonlocal done
+            done += 1
+            if self.progress is not None:
+                label = (describe(items[index]) if describe is not None
+                         else f"item {index}")
+                self.progress(f"[{done}/{len(items)}] {label} ({how})")
+
+        def run_serial(index: int) -> None:
+            start = time.perf_counter()
+            results[index] = fn(items[index])
+            note(index, f"{time.perf_counter() - start:.1f}s")
+
+        if self.jobs > 1 and len(items) > 1:
+            work = [(index, fn, item) for index, item in enumerate(items)]
+            try:
+                context = multiprocessing.get_context()
+                with context.Pool(
+                        processes=min(self.jobs, len(work))) as pool:
+                    for index, status, payload, elapsed in \
+                            pool.imap_unordered(_map_worker, work):
+                        if status == "ok":
+                            results[index] = payload
+                            note(index, f"{elapsed:.1f}s")
+                            continue
+                        try:
+                            run_serial(index)
+                        except Exception as exc:
+                            raise RuntimeError(
+                                f"map item {index} failed twice: {exc}\n"
+                                f"--- worker traceback ---\n"
+                                f"{payload}") from exc
+            except OSError:
+                log.warning("no process pool available; map degrades "
+                            "to serial")
+                for index in range(len(items)):
+                    if results[index] is _UNSET:
+                        run_serial(index)
+        else:
+            for index in range(len(items)):
+                run_serial(index)
+        return results
 
     def _run_pool(self, specs: Sequence[RunSpec], misses: Sequence[int],
                   results: List[Optional[SimResult]],

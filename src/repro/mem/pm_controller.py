@@ -121,6 +121,12 @@ class PMController:
         if delay:
             self.stats.add("read_delay_cycles", delay)
         accept, done = self.read_queue.push(now + delay)
+        if self.env.trace.enabled:
+            # Reads participate in the WriteBack-Read-Persist pattern
+            # (Figure 5), so the oracle needs them in the trace stream
+            # at the same time the policy observes them.
+            self.env.trace.instant(self.TRACE_TRACK, "pm-read", accept,
+                                   args={"block": block}, cat="pmc")
         completion = self.env.event()
         content_cell: Dict[int, int] = {}
 

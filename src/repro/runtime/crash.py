@@ -44,17 +44,33 @@ class CrashOutcome:
                 f"@{self.crash_cycle}/{self.total_cycles}: {status})")
 
 
-def measure_run_cycles(workload_cls: Type, design_name: str,
-                       n_threads: int, fases_per_thread: int,
-                       seed: int,
-                       config: Optional[SystemConfig] = None) -> int:
-    """Length of an uninterrupted run (to place crash points inside it)."""
+def build_crash_system(workload_cls: Type, design_name: str,
+                       n_threads: int, fases_per_thread: int, seed: int,
+                       config: Optional[SystemConfig] = None,
+                       log_mode: str = "undo", tracer=None):
+    """One build path for every crash-injection entry point: returns the
+    ``(workload, system)`` pair ready to run (the validation campaign
+    reuses this with a tracer attached, so a measured uninterrupted run
+    and the crashed run are built identically by construction)."""
     from ..persistency import design_by_name
     from ..system import build_system
     workload = workload_cls(seed=seed)
     program = workload.build(n_threads, fases_per_thread)
     cfg = config or table3_config(n_cores=n_threads)
-    system = build_system(program, design_by_name(design_name), cfg)
+    system = build_system(program, design_by_name(design_name), cfg,
+                          log_mode=log_mode, tracer=tracer)
+    return workload, system
+
+
+def measure_run_cycles(workload_cls: Type, design_name: str,
+                       n_threads: int, fases_per_thread: int,
+                       seed: int,
+                       config: Optional[SystemConfig] = None,
+                       log_mode: str = "undo") -> int:
+    """Length of an uninterrupted run (to place crash points inside it)."""
+    _workload, system = build_crash_system(
+        workload_cls, design_name, n_threads, fases_per_thread, seed,
+        config, log_mode=log_mode)
     return system.run().cycles
 
 
@@ -62,22 +78,29 @@ def run_with_crash(workload_cls: Type, design_name: str, crash_cycle: int,
                    n_threads: int = 2, fases_per_thread: int = 20,
                    seed: int = 42,
                    config: Optional[SystemConfig] = None,
-                   log_mode: str = "undo") -> CrashOutcome:
-    """Run the workload, cut power at ``crash_cycle``, recover, validate."""
-    from ..persistency import design_by_name
-    from ..system import build_system
-    workload = workload_cls(seed=seed)
-    program = workload.build(n_threads, fases_per_thread)
-    cfg = config or table3_config(n_cores=n_threads)
-    system = build_system(program, design_by_name(design_name), cfg,
-                          log_mode=log_mode)
+                   log_mode: str = "undo",
+                   total_cycles: Optional[int] = None) -> CrashOutcome:
+    """Run the workload, cut power at ``crash_cycle``, recover, validate.
+
+    ``total_cycles`` is the uninterrupted run length; pass it when known
+    (e.g. from a sweep that measured it once) to avoid re-measuring --
+    otherwise it is measured here so the outcome reports the true total
+    rather than the crash cycle itself.
+    """
+    if total_cycles is None:
+        total_cycles = measure_run_cycles(
+            workload_cls, design_name, n_threads, fases_per_thread, seed,
+            config, log_mode=log_mode)
+    workload, system = build_crash_system(
+        workload_cls, design_name, n_threads, fases_per_thread, seed,
+        config, log_mode=log_mode)
     system.run(until=crash_cycle)
     commits = system.runtime.total_commits
     snapshot = system.persisted_snapshot()
     report = run_recovery(snapshot, n_threads, log_mode=log_mode)
     violations = workload.validate_recovered(report.data_image())
     return CrashOutcome(workload.name, design_name, crash_cycle,
-                        crash_cycle, report, violations, commits)
+                        total_cycles, report, violations, commits)
 
 
 def crash_sweep(workload_cls: Type, design_name: str,
@@ -87,14 +110,16 @@ def crash_sweep(workload_cls: Type, design_name: str,
                 config: Optional[SystemConfig] = None,
                 log_mode: str = "undo") -> List[CrashOutcome]:
     """Crash at several points spread across one run's duration."""
+    total = measure_run_cycles(workload_cls, design_name, n_threads,
+                               fases_per_thread, seed, config,
+                               log_mode=log_mode)
     if crash_points is None:
-        total = measure_run_cycles(workload_cls, design_name, n_threads,
-                                   fases_per_thread, seed, config)
         step = max(1, total // (n_points + 1))
         crash_points = [step * (index + 1) for index in range(n_points)]
     outcomes = []
     for crash_cycle in crash_points:
         outcomes.append(run_with_crash(
             workload_cls, design_name, crash_cycle, n_threads,
-            fases_per_thread, seed, config, log_mode=log_mode))
+            fases_per_thread, seed, config, log_mode=log_mode,
+            total_cycles=total))
     return outcomes

@@ -138,6 +138,13 @@ class TraceRecorder(Tracer):
     def __len__(self) -> int:
         return len(self._events)
 
+    def events(self) -> List[tuple]:
+        """The buffered ``(phase, track, name, cat, ts, dur, args)``
+        tuples in recording order -- the cycle-domain stream the
+        validation oracle replays (:mod:`repro.validation.history`),
+        without the unit conversion ``to_dict`` applies for renderers."""
+        return list(self._events)
+
     # ------------------------------------------------------------ export
 
     def _us(self, cycles: int) -> float:

@@ -1,0 +1,394 @@
+"""Crash-consistency campaigns: plan, fan out, judge, shrink, report.
+
+One *trial* = run a workload under a design with a fault model armed,
+cut (or virtually cut) at a planned crash cycle, recover, and judge the
+outcome twice: the workload's own ``validate_recovered`` structural
+check on the recovered data image, and the :class:`PersistOrderOracle`
+on the run's trace-event history truncated at the crash horizon.  A
+*campaign* is a planned set of trials per ``workload x design`` cell,
+fanned out through :meth:`ParallelExecutor.map`, with every failing
+cell shrunk to a minimal reproducing crash cycle and everything
+summarised in a versioned :class:`CampaignReport`.
+
+Trials are pure functions of their :class:`TrialSpec` (fixed seed, no
+wall-clock inputs), which is what makes fan-out order irrelevant,
+failures replayable, and shrinking sound.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import asdict, dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import table3_config
+from ..persistency import design_by_name
+from ..runtime.crash import build_crash_system
+from ..runtime.recovery import run_recovery
+from ..sim.trace import TraceRecorder
+from ..telemetry import get_logger
+from ..workloads import BENCHMARKS
+from .faults import fault_by_name
+from .history import (FASE, PERSIST, WRITEBACK, history_from_recorder,
+                      truncate_history)
+from .oracle import PersistOrderOracle
+from .planners import RunProfile, planner_by_name
+from .shrink import shrink_crash_cycle
+
+CAMPAIGN_SCHEMA_VERSION = 1
+
+log = get_logger("validation.campaign")
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One crash trial, fully determined (picklable, hashable)."""
+
+    workload: str
+    design: str
+    fault: str = "power-cut"
+    crash_cycle: int = 0
+    n_threads: int = 2
+    fases_per_thread: int = 10
+    seed: int = 42
+    log_mode: str = "undo"
+
+    def __post_init__(self):
+        if self.workload not in BENCHMARKS:
+            raise ValueError(f"unknown benchmark {self.workload!r}; "
+                             f"choose from {sorted(BENCHMARKS)}")
+        try:
+            design_by_name(self.design)
+            fault_by_name(self.fault)
+        except KeyError as exc:
+            # ValueError is the CLI's "user error" class (exit 2, no
+            # traceback); bad names are exactly that.
+            raise ValueError(str(exc)) from None
+        if self.crash_cycle < 0:
+            raise ValueError("crash_cycle must be >= 0")
+
+    def describe(self) -> str:
+        return (f"{self.workload}/{self.design} {self.fault}"
+                f"@{self.crash_cycle}")
+
+
+def _describe_spec(spec: TrialSpec) -> str:
+    return spec.describe()
+
+
+def _build(spec: TrialSpec):
+    """Build the traced system for one trial, fault armed."""
+    fault = fault_by_name(spec.fault)
+    recorder = TraceRecorder()
+    config = table3_config(n_cores=spec.n_threads,
+                           **fault.config_overrides())
+    workload, system = build_crash_system(
+        BENCHMARKS[spec.workload], spec.design, spec.n_threads,
+        spec.fases_per_thread, spec.seed, config, log_mode=spec.log_mode,
+        tracer=recorder)
+    fault.arm(system)
+    return workload, system, fault, recorder
+
+
+def _oracle_for(system) -> PersistOrderOracle:
+    """The oracle configured for this system's design: the replay must
+    mirror the hardware (same window), and the stale-read pattern only
+    exists where writebacks are dropped *and* a speculation buffer is
+    expected to catch the resulting staleness (PMEM-Spec).  A run whose
+    buffer overflowed also skips the replay: overflow evicts the oldest
+    entry early (with an all-core stall), which an unbounded replay
+    cannot mirror, and the hardware's miss there is by design."""
+    design = system.design
+    overflows = sum(buffer.stats["overflows"]
+                    for buffer in system.spec_buffers)
+    return PersistOrderOracle(
+        window=system.config.speculation_window_cycles,
+        check_stale_reads=(design.drops_llc_writebacks
+                           and design.uses_persist_path
+                           and overflows == 0))
+
+
+def run_trial(spec: TrialSpec) -> Dict:
+    """Execute one trial; returns a JSON-ready outcome dict.
+
+    Module-level (not a closure) so :meth:`ParallelExecutor.map` can
+    ship it to pool workers.
+    """
+    workload, system, fault, recorder = _build(spec)
+    env = system.env
+    processes = [env.process(core.run(), name=f"core{core.core_id}")
+                 for core in system.cores]
+    all_done = env.all_of(processes)
+    env.run(until=spec.crash_cycle, stop_event=all_done)
+    if env.now < spec.crash_cycle:
+        # Cores finished early: power stays on, so the persistence
+        # drain proceeds until the planned cut.
+        env.run(until=spec.crash_cycle)
+    fault.at_crash(system, spec.crash_cycle)
+    if fault.run_to_completion:
+        # Virtual failures leave the machine on: the runtime's
+        # abort/retry recovery must carry the run to a clean finish.
+        env.run(stop_event=all_done)
+        env.run()
+    horizon = env.now
+    commits = system.runtime.total_commits
+
+    snapshot = system.persisted_snapshot()
+    fault_notes = fault.mutate_snapshot(snapshot, spec.n_threads)
+    report = run_recovery(snapshot, spec.n_threads,
+                          log_mode=spec.log_mode)
+    violations = [
+        {"kind": "structural", "cycle": spec.crash_cycle,
+         "subject": workload.name, "detail": message}
+        for message in workload.validate_recovered(report.data_image())]
+
+    history = truncate_history(history_from_recorder(recorder), horizon)
+    violations.extend(v.to_dict() for v in _oracle_for(system).check(history))
+
+    return {
+        "spec": asdict(spec),
+        "crash_cycle": spec.crash_cycle,
+        "horizon": horizon,
+        "commits_before_crash": commits,
+        "rolled_back_threads": report.rolled_back_threads,
+        "history_events": len(history),
+        "fault_notes": fault_notes,
+        "violations": violations,
+        "consistent": not violations,
+    }
+
+
+def profile_cell(spec: TrialSpec) -> RunProfile:
+    """Profile the uninterrupted run of one cell (fault still armed, so
+    crash points land inside the *perturbed* run's duration)."""
+    _workload, system, _fault, recorder = _build(spec)
+    result = system.run()
+    history = history_from_recorder(recorder)
+    return RunProfile(
+        total_cycles=result.cycles,
+        fase_intervals=[(event.cycle, event.end) for event in history
+                        if event.kind == FASE],
+        commit_cycles=[when for _tid, _fid, when
+                       in system.runtime.commit_log],
+        issue_end=max((core.finish_time or 0) for core in system.cores),
+        persist_cycles=sorted({event.cycle for event in history
+                               if event.kind in (PERSIST, WRITEBACK)}),
+    )
+
+
+# --------------------------------------------------------------- report
+
+
+class CampaignReport:
+    """Structured outcome of one campaign (JSON artifact + table rows)."""
+
+    def __init__(self, params: Dict, cells: List[Dict],
+                 elapsed_s: float = 0.0):
+        self.schema_version = CAMPAIGN_SCHEMA_VERSION
+        self.params = params
+        self.cells = cells
+        self.elapsed_s = elapsed_s
+
+    @property
+    def total_trials(self) -> int:
+        return sum(cell["trials"] for cell in self.cells)
+
+    @property
+    def total_failures(self) -> int:
+        return sum(len(cell["failures"]) for cell in self.cells)
+
+    @property
+    def consistent(self) -> bool:
+        return self.total_failures == 0
+
+    def violation_kinds(self) -> List[str]:
+        kinds = {violation["kind"] for cell in self.cells
+                 for failure in cell["failures"]
+                 for violation in failure["violations"]}
+        return sorted(kinds)
+
+    def rows(self) -> List[Dict]:
+        """Flat per-cell summaries for the harness table renderer."""
+        rows = []
+        for cell in self.cells:
+            shrunk = cell.get("shrink")
+            rows.append({
+                "workload": cell["workload"],
+                "design": cell["design"],
+                "trials": cell["trials"],
+                "failures": len(cell["failures"]),
+                "violation_kinds": ",".join(cell["violation_kinds"]) or "-",
+                "minimal_cycle": (shrunk["minimal_cycle"]
+                                  if shrunk else None),
+            })
+        return rows
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema_version": self.schema_version,
+            "params": self.params,
+            "elapsed_s": self.elapsed_s,
+            "total_trials": self.total_trials,
+            "total_failures": self.total_failures,
+            "consistent": self.consistent,
+            "violation_kinds": self.violation_kinds(),
+            "cells": self.cells,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str) -> str:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+        return path
+
+    def __repr__(self) -> str:
+        status = "OK" if self.consistent else (
+            f"{self.total_failures} FAILURES {self.violation_kinds()}")
+        return (f"CampaignReport({len(self.cells)} cells, "
+                f"{self.total_trials} trials: {status})")
+
+
+# ------------------------------------------------------------- campaign
+
+
+def _cell_rng(seed: int, workload: str, design: str,
+              round_index: int) -> random.Random:
+    # String seeding is stable across processes and Python runs
+    # (unlike hash()), so every cell's sample is reproducible.
+    return random.Random(f"{seed}:{workload}:{design}:{round_index}")
+
+
+def run_campaign(workloads: Sequence[str], designs: Sequence[str],
+                 planner: str = "stratified", fault: str = "power-cut",
+                 budget: int = 200, seed: int = 42,
+                 n_threads: int = 2, fases_per_thread: int = 10,
+                 log_mode: str = "undo", shrink: bool = True,
+                 executor=None,
+                 progress: Optional[Callable[[str], None]] = None
+                 ) -> CampaignReport:
+    """Run a full campaign over the ``workloads x designs`` grid.
+
+    ``budget`` is the trial budget *per cell*.  ``executor`` is a
+    :class:`repro.harness.ParallelExecutor` (or anything with its
+    ``map``); ``None`` runs serially -- the package never constructs a
+    harness object itself, so the dependency points one way only.
+    """
+    started = time.perf_counter()
+    planner_obj = planner_by_name(planner)
+    cells: List[Tuple[str, str]] = [
+        (workload, design) for workload in workloads for design in designs]
+
+    def say(message: str) -> None:
+        log.info("%s", message)
+        if progress is not None:
+            progress(message)
+
+    def base_spec(workload: str, design: str) -> TrialSpec:
+        return TrialSpec(workload=workload, design=design, fault=fault,
+                         crash_cycle=0, n_threads=n_threads,
+                         fases_per_thread=fases_per_thread, seed=seed,
+                         log_mode=log_mode)
+
+    def fan_out(specs: List[TrialSpec]) -> List[Dict]:
+        if executor is not None and specs:
+            return executor.map(run_trial, specs, describe=_describe_spec)
+        return [run_trial(spec) for spec in specs]
+
+    say(f"profiling {len(cells)} cells "
+        f"({len(workloads)} workloads x {len(designs)} designs)")
+    profiles: Dict[Tuple[str, str], RunProfile] = {}
+    for workload, design in cells:
+        profiles[(workload, design)] = profile_cell(
+            base_spec(workload, design))
+
+    # The adaptive planner wants a feedback round; the others spend
+    # their whole budget at once.
+    rounds = 2 if planner == "adaptive" else 1
+    tried: Dict[Tuple[str, str], set] = {cell: set() for cell in cells}
+    results: Dict[Tuple[str, str], List[Dict]] = {cell: [] for cell in cells}
+    failures: Dict[Tuple[str, str], List[Dict]] = {cell: [] for cell in cells}
+
+    for round_index in range(rounds):
+        round_budget = budget // rounds
+        if round_index == rounds - 1:
+            round_budget = budget - round_budget * (rounds - 1)
+        specs: List[TrialSpec] = []
+        for workload, design in cells:
+            cell = (workload, design)
+            rng = _cell_rng(seed, workload, design, round_index)
+            cycles = planner_obj.plan(
+                profiles[cell], round_budget, rng,
+                failures=[f["crash_cycle"] for f in failures[cell]])
+            fresh = [c for c in cycles if c not in tried[cell]]
+            tried[cell].update(fresh)
+            specs.extend(replace(base_spec(workload, design),
+                                 crash_cycle=cycle) for cycle in fresh)
+        say(f"round {round_index + 1}/{rounds}: {len(specs)} trials")
+        for spec, outcome in zip(specs, fan_out(specs)):
+            cell = (spec.workload, spec.design)
+            results[cell].append(outcome)
+            if not outcome["consistent"]:
+                failures[cell].append(outcome)
+
+    cell_reports: List[Dict] = []
+    for workload, design in cells:
+        cell = (workload, design)
+        cell_failures = sorted(failures[cell],
+                               key=lambda f: f["crash_cycle"])
+        shrink_payload = None
+        if shrink and cell_failures:
+            shrink_payload = _shrink_cell(
+                base_spec(workload, design), cell_failures, say)
+        cell_reports.append({
+            "workload": workload,
+            "design": design,
+            "fault": fault,
+            "total_cycles": profiles[cell].total_cycles,
+            "trials": len(results[cell]),
+            "failures": cell_failures,
+            "violation_kinds": sorted({
+                violation["kind"] for failure in cell_failures
+                for violation in failure["violations"]}),
+            "shrink": shrink_payload,
+        })
+
+    report = CampaignReport(
+        params={
+            "workloads": list(workloads), "designs": list(designs),
+            "planner": planner, "fault": fault, "budget": budget,
+            "seed": seed, "n_threads": n_threads,
+            "fases_per_thread": fases_per_thread, "log_mode": log_mode,
+            "shrink": shrink,
+        },
+        cells=cell_reports,
+        elapsed_s=time.perf_counter() - started,
+    )
+    say(f"campaign done: {report!r}")
+    return report
+
+
+def _shrink_cell(base: TrialSpec, cell_failures: List[Dict], say) -> Dict:
+    """Shrink a cell's earliest failing cycle to a minimal reproducer."""
+    earliest = cell_failures[0]["crash_cycle"]
+    outcomes: Dict[int, Dict] = {earliest: cell_failures[0]}
+
+    def fails(cycle: int) -> bool:
+        outcome = run_trial(replace(base, crash_cycle=cycle))
+        outcomes[cycle] = outcome
+        return not outcome["consistent"]
+
+    shrunk = shrink_crash_cycle(fails, earliest)
+    minimal = outcomes.get(shrunk.minimal_cycle)
+    if minimal is None:  # minimal == earliest and it was never re-run
+        minimal = outcomes[earliest]
+    say(f"shrunk {base.workload}/{base.design} failure: cycle "
+        f"{earliest} -> {shrunk.minimal_cycle} "
+        f"({shrunk.trials} bisection trials)")
+    payload = shrunk.to_dict()
+    payload["minimal_violations"] = minimal["violations"]
+    return payload

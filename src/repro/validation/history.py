@@ -1,0 +1,149 @@
+"""Canonical persist-event histories for the validation oracle.
+
+The cycle-domain tracer records everything the persist-order oracle
+needs -- PMC acceptance instants, speculation-buffer automaton
+transitions, per-core FASE lifecycle spans -- but as renderer-oriented
+Chrome trace tuples.  This module normalises that stream into typed
+:class:`HistoryEvent` records the oracle replays, and provides small
+constructors for hand-crafting known-bad histories in tests (the
+fixtures the oracle's own regression suite is built from).
+
+Event kinds mirror the PMC's three input classes (§5.1: ``WriteBack``,
+``Read``, ``Persist`` messages) plus two observability-only kinds:
+``detection`` (the speculation buffer reached ``Misspeculation`` for a
+block, i.e. the hardware caught the violation) and ``fase`` (one
+attempt of a FASE on a core, with its outcome).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from ..sim.trace import PHASE_COMPLETE
+
+WRITEBACK = "writeback"
+READ = "read"
+PERSIST = "persist"
+DETECTION = "detection"
+FASE = "fase"
+
+KINDS = (WRITEBACK, READ, PERSIST, DETECTION, FASE)
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One normalised event of a persist history.
+
+    ``cycle`` is the event's time in core cycles: PMC *acceptance* time
+    for writebacks/persists, arrival time for reads, detection time for
+    detections, and the attempt's start for FASE spans (whose ``end``
+    carries the completion cycle).
+    """
+
+    kind: str
+    cycle: int
+    block: Optional[int] = None
+    core: Optional[int] = None
+    spec_id: int = 0
+    fase: Optional[int] = None
+    outcome: str = ""
+    attempt: int = 1
+    end: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown history event kind {self.kind!r}")
+        if self.cycle < 0:
+            raise ValueError("event cycle must be >= 0")
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+# ----------------------------------------------------- test constructors
+
+
+def writeback(block: int, cycle: int) -> HistoryEvent:
+    """An LLC writeback accepted by the PMC (starts monitoring)."""
+    return HistoryEvent(WRITEBACK, cycle, block=block)
+
+
+def read(block: int, cycle: int) -> HistoryEvent:
+    """A regular-path PM read arriving at the PMC."""
+    return HistoryEvent(READ, cycle, block=block)
+
+
+def persist(block: int, cycle: int, core: int = 0,
+            spec_id: int = 0) -> HistoryEvent:
+    """A persist-path store accepted by the PMC (spec-ID optional)."""
+    return HistoryEvent(PERSIST, cycle, block=block, core=core,
+                        spec_id=spec_id)
+
+
+def detection(block: int, cycle: int, spec_id: int = 0) -> HistoryEvent:
+    """The speculation buffer flagged the block at ``cycle`` -- the
+    hardware detected (and the runtime will recover) the violation."""
+    return HistoryEvent(DETECTION, cycle, block=block, spec_id=spec_id)
+
+
+def fase_span(core: int, fase: int, start: int, end: int,
+              outcome: str = "commit", attempt: int = 1) -> HistoryEvent:
+    """One attempt of FASE ``fase`` on ``core`` over ``[start, end]``."""
+    if end < start:
+        raise ValueError("FASE span ends before it starts")
+    return HistoryEvent(FASE, start, core=core, fase=fase,
+                        outcome=outcome, attempt=attempt, end=end)
+
+
+# ----------------------------------------------------------- extraction
+
+
+def history_from_recorder(recorder) -> List[HistoryEvent]:
+    """Normalise a :class:`repro.sim.TraceRecorder`'s buffered events.
+
+    Only the event classes the oracle understands are kept; everything
+    else (counters, persist-path latency spans, non-misspeculation
+    automaton transitions) is presentation-only and skipped.  The
+    returned list preserves recording order, which for per-core events
+    is that core's issue order -- the stream order the intra-thread
+    check relies on.
+    """
+    history: List[HistoryEvent] = []
+    for phase, track, name, cat, ts, dur, args in recorder.events():
+        args = args or {}
+        if cat == "pmc":
+            if name == "writeback-accept":
+                history.append(writeback(args["block"], ts))
+            elif name == "pm-read":
+                history.append(read(args["block"], ts))
+            elif name == "persist-accept":
+                history.append(persist(args["block"], ts,
+                                       core=args.get("core", 0),
+                                       spec_id=args.get("spec_id", 0)))
+        elif cat == "spec-buffer" and name.endswith("->Misspeculation"):
+            history.append(detection(args["block"], ts,
+                                     spec_id=args.get("spec_id", 0)))
+        elif (cat == "fase" and phase == PHASE_COMPLETE
+                and track.startswith("core")):
+            history.append(fase_span(int(track[len("core"):]),
+                                     args.get("fase", -1), ts, ts + dur,
+                                     outcome=args.get("outcome", ""),
+                                     attempt=args.get("attempt", 1)))
+    return history
+
+
+def truncate_history(history: List[HistoryEvent],
+                     horizon: int) -> List[HistoryEvent]:
+    """Drop events that had not *happened* by cycle ``horizon``.
+
+    A power cut at ``horizon`` makes later-accepted writebacks/persists
+    never durable (their device updates were still scheduled), so the
+    oracle must not reason about them.  FASE spans are kept whenever
+    they were *recorded* (attempt completion is what the tracer logs, so
+    a span in the buffer always finished before the crash; its nominal
+    ``end`` may exceed the crash cycle by the tracer's 1-cycle minimum
+    span width).
+    """
+    return [event for event in history
+            if event.kind == FASE or event.cycle <= horizon]

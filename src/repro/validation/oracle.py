@@ -1,0 +1,291 @@
+"""The persist-order oracle: generic ordering invariants over histories.
+
+Formal-persistency work (Khyzha & Lahav's x86-TSO persistency model)
+shows persist-order violations are exactly checkable from an event
+history; this oracle applies that idea to the reproduction's own trace
+stream.  It is independent of any workload's structural invariants
+(those stay in :meth:`repro.workloads.Workload.validate_recovered`) and
+checks what the *protocols* promise instead:
+
+``intra-thread-persist-order``
+    A core's persist-path stores must be accepted by the PMC in issue
+    order (§4.2's FIFO property -- the undo-log write protocol is
+    unsound without it).
+
+``spec-id-monotonicity``
+    Spec-IDs observed on one block must be non-decreasing while the
+    block's speculation-buffer entry is live (§5.2.2's happens-before
+    order in PM), unless the hardware detected the inversion (a
+    ``detection`` event at the offending persist's cycle) and recovery
+    took over.
+
+``stale-read``
+    The ``WriteBack - Read - Persist`` pattern (§5.1.4, Figure 5) means
+    the read returned stale data; it must be *detected*.  An undetected
+    occurrence is a soundness violation.
+
+The two speculation checks share one per-block replay of the
+speculation-buffer entry lifecycle (automaton state via
+:mod:`repro.core.automata`, plus spec-ID retention, window expiry, and
+entry deallocation) so the oracle flags exactly what the hardware is
+*specified* to catch -- patterns the buffer legitimately forgets (an
+expired or recycled entry) are not flagged.
+
+``fase-atomicity``
+    Per core, FASE attempts must not overlap, an aborted attempt must be
+    re-executed before anything else runs (with its attempt counter
+    incremented), and a committed FASE must never run again.
+
+Violations carry a stable machine-readable ``kind`` so campaign reports
+and CI gates can key on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core import automata
+from .history import DETECTION, FASE, PERSIST, READ, WRITEBACK, HistoryEvent
+
+INTRA_THREAD_ORDER = "intra-thread-persist-order"
+SPEC_ID_ORDER = "spec-id-monotonicity"
+STALE_READ = "stale-read"
+FASE_ATOMICITY = "fase-atomicity"
+
+VIOLATION_KINDS = (INTRA_THREAD_ORDER, SPEC_ID_ORDER, STALE_READ,
+                   FASE_ATOMICITY)
+
+#: FASE spans have a 1-cycle minimum width (the tracer widens
+#: zero-length spans so renderers show them), so consecutive attempts
+#: may nominally overlap by one cycle without violating anything.
+SPAN_TOLERANCE = 1
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation found in a history."""
+
+    kind: str
+    cycle: int
+    subject: str
+    detail: str
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.subject} @ {self.cycle}: {self.detail}"
+
+
+class PersistOrderOracle:
+    """Replays a history and reports every violated ordering invariant.
+
+    ``window`` is the speculation window in cycles (``None`` = infinite,
+    the right setting for hand-crafted histories); it bounds both the
+    automaton replay's expiry and how long a spec-ID comparison stays
+    live, mirroring the hardware's lazy entry expiry.
+    ``check_stale_reads`` gates the speculation-buffer replay (both the
+    stale-read and spec-ID checks) and should be enabled only for
+    designs that drop LLC writebacks *and* detect speculation
+    (PMEM-Spec): baselines that persist writebacks never serve stale
+    reads, writeback-dropping baselines without a speculation buffer
+    order persists by fencing, and neither tags persists with spec-IDs
+    -- the pattern has no meaning for them.
+    """
+
+    def __init__(self, window: Optional[int] = None,
+                 check_stale_reads: bool = True):
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 cycle (or None)")
+        self.window = window
+        self.check_stale_reads = check_stale_reads
+
+    # ------------------------------------------------------------- entry
+
+    def check(self, history: Iterable[HistoryEvent]) -> List[Violation]:
+        """All violations in the history, in deterministic order."""
+        events = list(history)
+        violations = self._check_intra_thread(events)
+        if self.check_stale_reads:
+            violations += self._check_spec_buffer(events)
+        violations += self._check_fase_atomicity(events)
+        return violations
+
+    # ---------------------------------------------------------- helpers
+
+    def _expired(self, last_activity: int, cycle: int) -> bool:
+        return (self.window is not None
+                and cycle - last_activity >= self.window)
+
+    @staticmethod
+    def _detections(events: List[HistoryEvent]) -> Set[Tuple[int, int]]:
+        """(block, cycle) pairs the hardware flagged.  The simulator
+        emits the automaton transition at the offending persist's PMC
+        acceptance cycle, so suppression matches on exact cycles."""
+        return {(event.block, event.cycle) for event in events
+                if event.kind == DETECTION}
+
+    @staticmethod
+    def _per_block(events: List[HistoryEvent],
+                   kinds: Tuple[str, ...]) -> Dict[int, List[HistoryEvent]]:
+        """Selected events grouped per block, sorted by cycle (stream
+        order breaks ties, keeping the sort stable and deterministic)."""
+        grouped: Dict[int, List[HistoryEvent]] = {}
+        for event in events:
+            if event.kind in kinds:
+                grouped.setdefault(event.block, []).append(event)
+        for block_events in grouped.values():
+            block_events.sort(key=lambda e: e.cycle)
+        return grouped
+
+    # ----------------------------------------------------- invariant (1)
+
+    def _check_intra_thread(self,
+                            events: List[HistoryEvent]) -> List[Violation]:
+        """Per core, persist acceptance must follow stream (issue) order."""
+        violations: List[Violation] = []
+        last_accept: Dict[int, Tuple[int, int]] = {}  # core -> (cycle, blk)
+        for event in events:
+            if event.kind != PERSIST:
+                continue
+            previous = last_accept.get(event.core)
+            if previous is not None and event.cycle < previous[0]:
+                violations.append(Violation(
+                    INTRA_THREAD_ORDER, event.cycle, f"core{event.core}",
+                    f"persist of block 0x{event.block:x} accepted at "
+                    f"{event.cycle}, before the earlier-issued persist of "
+                    f"block 0x{previous[1]:x} accepted at {previous[0]}"))
+            if previous is None or event.cycle > previous[0]:
+                last_accept[event.core] = (event.cycle, event.block)
+        return violations
+
+    # ------------------------------------------------- invariants (2, 3)
+
+    def _check_spec_buffer(self,
+                           events: List[HistoryEvent]) -> List[Violation]:
+        """Replay the speculation-buffer entry lifecycle per block.
+
+        Mirrors :meth:`repro.core.spec_buffer.SpeculationBuffer`'s input
+        handlers exactly -- lazy window expiry, spec-ID retention and
+        refresh, entry deallocation on untagged-persist-in-Evict and on
+        any misspeculation -- so the replay's detections coincide with
+        the hardware's.  Each detection point the replay reaches must be
+        matched by a ``detection`` event in the history; one that is not
+        becomes a ``stale-read`` or ``spec-id-monotonicity`` violation.
+        """
+        violations: List[Violation] = []
+        detected = self._detections(events)
+        for block, block_events in sorted(
+                self._per_block(events,
+                                (WRITEBACK, READ, PERSIST)).items()):
+            subject = f"block 0x{block:x}"
+            alive = False
+            state = automata.INITIAL
+            spec_id = 0
+            window_start = 0
+
+            def reset():
+                nonlocal alive, state, spec_id
+                alive, state, spec_id = False, automata.INITIAL, 0
+
+            def apply(symbol, cycle):
+                nonlocal state, window_start
+                state, action = automata.step(state, symbol)
+                if action == automata.RESTART_WINDOW:
+                    window_start = cycle
+                elif action == automata.DEALLOCATE:
+                    reset()
+
+            for event in block_events:
+                cycle = event.cycle
+                if alive and self._expired(window_start, cycle):
+                    reset()
+                if event.kind == WRITEBACK:
+                    if alive:
+                        apply(automata.WRITEBACK, cycle)
+                    else:
+                        alive, state = True, automata.EVICT
+                        window_start = cycle
+                elif event.kind == READ:
+                    if alive:
+                        apply(automata.READ, cycle)
+                elif event.kind == PERSIST and alive:
+                    if state == automata.SPECULATED:
+                        if (block, cycle) not in detected:
+                            violations.append(Violation(
+                                STALE_READ, cycle, subject,
+                                "WriteBack-Read-Persist: a regular-path "
+                                "read returned stale data and the "
+                                "hardware never flagged it"))
+                        reset()  # entry recycled either way
+                    elif (event.spec_id and spec_id
+                            and event.spec_id < spec_id):
+                        if (block, cycle) not in detected:
+                            violations.append(Violation(
+                                SPEC_ID_ORDER, cycle, subject,
+                                f"spec-id {event.spec_id} persisted "
+                                f"after spec-id {spec_id} without "
+                                f"hardware detection"))
+                        reset()
+                    elif event.spec_id:
+                        spec_id = max(spec_id, event.spec_id)
+                        window_start = cycle
+                    else:
+                        apply(automata.PERSIST, cycle)
+                elif event.kind == PERSIST and event.spec_id:
+                    # Tagged persist on an unmonitored block allocates
+                    # an Initial-state entry for store tracking.
+                    alive, state = True, automata.INITIAL
+                    spec_id = event.spec_id
+                    window_start = cycle
+        return violations
+
+    # ----------------------------------------------------- invariant (4)
+
+    def _check_fase_atomicity(self,
+                              events: List[HistoryEvent]) -> List[Violation]:
+        violations: List[Violation] = []
+        committed: Set[Tuple[int, int]] = set()  # (core, fase)
+        per_core: Dict[int, List[HistoryEvent]] = {}
+        for event in events:
+            if event.kind == FASE:
+                per_core.setdefault(event.core, []).append(event)
+        for core, spans in sorted(per_core.items()):
+            subject = f"core{core}"
+            previous: Optional[HistoryEvent] = None
+            pending_retry: Optional[HistoryEvent] = None
+            for span in spans:
+                if (previous is not None and previous.end is not None
+                        and span.cycle < previous.end - SPAN_TOLERANCE):
+                    violations.append(Violation(
+                        FASE_ATOMICITY, span.cycle, subject,
+                        f"FASE {span.fase} attempt started at {span.cycle} "
+                        f"while FASE {previous.fase} ran until "
+                        f"{previous.end}"))
+                if pending_retry is not None:
+                    if span.fase != pending_retry.fase:
+                        violations.append(Violation(
+                            FASE_ATOMICITY, span.cycle, subject,
+                            f"FASE {pending_retry.fase} aborted at "
+                            f"{pending_retry.end} but FASE {span.fase} ran "
+                            f"next instead of the re-execution"))
+                    elif span.attempt != pending_retry.attempt + 1:
+                        violations.append(Violation(
+                            FASE_ATOMICITY, span.cycle, subject,
+                            f"FASE {span.fase} re-executed as attempt "
+                            f"{span.attempt} after an aborted attempt "
+                            f"{pending_retry.attempt}"))
+                if (core, span.fase) in committed:
+                    violations.append(Violation(
+                        FASE_ATOMICITY, span.cycle, subject,
+                        f"FASE {span.fase} ran again after committing"))
+                if span.outcome == "commit":
+                    committed.add((core, span.fase))
+                    pending_retry = None
+                elif span.outcome == "abort":
+                    pending_retry = span
+                previous = span
+            # A retry still pending at the end of the history is fine:
+            # the crash interrupted the re-execution.
+        return violations

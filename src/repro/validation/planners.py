@@ -1,0 +1,204 @@
+"""Campaign planners: which crash cycles a campaign tries.
+
+*Rethinking PM Crash Consistency in the CXL Era* argues crash-state
+enumeration must be systematic, not ad hoc; these planners make the
+choice of crash points an explicit, seeded policy over a
+:class:`RunProfile` of the uninterrupted run:
+
+``exhaustive``
+    Every cycle in ``[1, total)`` -- or, over budget, an evenly spaced
+    comb across the whole run (the densest uniform coverage the budget
+    affords).
+
+``stratified``
+    Equal-share sampling from the three phases where crashes have
+    structurally different consequences: *inside a FASE* (undo/redo
+    rollback must fire), *at a commit point* (the epoch-bump ordering
+    edge), and *during the drain* (cores done, persistence in flight).
+    Within each phase the candidates are the profiled run's persist
+    acceptance boundaries -- the cycles where the persisted image
+    actually changes -- so no budget goes to duplicate crash states.
+    Empty strata donate their share to the rest.
+
+``adaptive``
+    Stratified exploration with half the budget, then the other half
+    clustered around known-failing cycles (from a previous round or the
+    current one) -- the planner equivalent of "shrink the neighborhood".
+
+All planners draw from a caller-provided :class:`random.Random`, so a
+campaign seed reproduces the exact trial set.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+#: Half-width (cycles) of the "at-commit" stratum around each commit.
+COMMIT_HALO = 20
+
+#: Half-width (cycles) of the neighborhood the adaptive planner samples
+#: around a known-failing cycle.
+FAILURE_HALO = 50
+
+
+@dataclass
+class RunProfile:
+    """Phase structure of one uninterrupted run (fixed seed).
+
+    ``fase_intervals`` are ``(start, end)`` core-cycle spans of FASE
+    attempts (any core), ``commit_cycles`` the commit times from the
+    runtime's commit log, and ``issue_end`` the cycle the last core
+    finished issuing -- everything after it up to ``total_cycles`` is
+    the persistence drain.  ``persist_cycles`` are the PMC acceptance
+    cycles of persists/writebacks: the persisted image only changes at
+    those boundaries, so they are exactly the distinct crash states of
+    the run and planners sample them first.
+    """
+
+    total_cycles: int
+    fase_intervals: List[Tuple[int, int]] = field(default_factory=list)
+    commit_cycles: List[int] = field(default_factory=list)
+    issue_end: int = 0
+    persist_cycles: List[int] = field(default_factory=list)
+
+    def phase_of(self, cycle: int) -> str:
+        """Classify a cycle (at-commit wins over inside-fase: the halo
+        around the epoch bump is the sharper invariant edge)."""
+        for commit in self.commit_cycles:
+            if abs(cycle - commit) <= COMMIT_HALO:
+                return "at-commit"
+        for start, end in self.fase_intervals:
+            if start <= cycle < end:
+                return "inside-fase"
+        if cycle >= self.issue_end:
+            return "during-drain"
+        return "between-fases"
+
+    def stratum_cycles(self) -> Dict[str, List[int]]:
+        """Candidate crash cycles of each stratum, deduplicated.
+
+        When the profile knows the persist acceptance boundaries, each
+        stratum is exactly its classified boundaries: crashing anywhere
+        between two acceptances yields the same persisted image, so
+        boundary cycles enumerate the *distinct* crash states and the
+        budget is never spent on duplicates.  A stratum with no
+        boundaries (and any profile without them) falls back to uniform
+        cycle ranges.
+        """
+        strata: Dict[str, List[int]] = {
+            "inside-fase": [], "at-commit": [], "during-drain": []}
+        last = max(1, self.total_cycles - 1)
+        for boundary in self.persist_cycles:
+            if 1 <= boundary <= last:
+                phase = self.phase_of(boundary)
+                if phase in strata:
+                    strata[phase].append(boundary)
+        if not strata["at-commit"]:
+            for commit in self.commit_cycles:
+                strata["at-commit"].extend(
+                    cycle for cycle in range(commit - COMMIT_HALO,
+                                             commit + COMMIT_HALO + 1)
+                    if 1 <= cycle <= last)
+        committed = set(strata["at-commit"])
+        if not strata["inside-fase"]:
+            for start, end in self.fase_intervals:
+                strata["inside-fase"].extend(
+                    cycle for cycle in range(max(1, start),
+                                             min(end, last + 1))
+                    if cycle not in committed)
+        if not strata["during-drain"]:
+            strata["during-drain"] = [
+                cycle for cycle in range(max(1, self.issue_end), last + 1)
+                if cycle not in committed]
+        return {name: sorted(set(cycles))
+                for name, cycles in strata.items()}
+
+
+def _unique_sorted(cycles: Sequence[int], last: int) -> List[int]:
+    return sorted({cycle for cycle in cycles if 1 <= cycle <= last})
+
+
+class Planner:
+    """Base planner; ``plan`` returns sorted unique crash cycles."""
+
+    name = "base"
+
+    def plan(self, profile: RunProfile, budget: int,
+             rng: random.Random,
+             failures: Sequence[int] = ()) -> List[int]:
+        raise NotImplementedError
+
+
+class ExhaustivePlanner(Planner):
+    name = "exhaustive"
+
+    def plan(self, profile: RunProfile, budget: int,
+             rng: random.Random,
+             failures: Sequence[int] = ()) -> List[int]:
+        last = max(1, profile.total_cycles - 1)
+        if last <= budget:
+            return list(range(1, last + 1))
+        # Evenly spaced comb: deterministic, budget-many, endpoints in.
+        step = last / budget
+        return _unique_sorted(
+            (round(step * (index + 1)) for index in range(budget)), last)
+
+
+class StratifiedPlanner(Planner):
+    name = "stratified"
+
+    def plan(self, profile: RunProfile, budget: int,
+             rng: random.Random,
+             failures: Sequence[int] = ()) -> List[int]:
+        last = max(1, profile.total_cycles - 1)
+        strata = {name: cycles for name, cycles
+                  in profile.stratum_cycles().items() if cycles}
+        if not strata:
+            return ExhaustivePlanner().plan(profile, budget, rng)
+        picks: List[int] = []
+        remaining = budget
+        # Smallest stratum first so undersized ones donate leftover
+        # budget to the bigger ones instead of wasting it.
+        for index, (name, cycles) in enumerate(
+                sorted(strata.items(), key=lambda item: len(item[1]))):
+            share = remaining // (len(strata) - index)
+            take = min(share, len(cycles))
+            picks.extend(rng.sample(cycles, take))
+            remaining -= take
+        return _unique_sorted(picks, last)
+
+
+class AdaptivePlanner(Planner):
+    name = "adaptive"
+
+    def plan(self, profile: RunProfile, budget: int,
+             rng: random.Random,
+             failures: Sequence[int] = ()) -> List[int]:
+        last = max(1, profile.total_cycles - 1)
+        if not failures:
+            return StratifiedPlanner().plan(profile, budget, rng)
+        explore = StratifiedPlanner().plan(profile, budget // 2, rng)
+        exploit: List[int] = []
+        refine_budget = budget - len(explore)
+        per_failure = max(1, refine_budget // len(failures))
+        for failing_cycle in failures:
+            low = max(1, failing_cycle - FAILURE_HALO)
+            high = min(last, failing_cycle + FAILURE_HALO)
+            for _ in range(per_failure):
+                exploit.append(rng.randint(low, high))
+        return _unique_sorted(explore + exploit, last)
+
+
+_PLANNER_TYPES = {planner.name: planner for planner in
+                  (ExhaustivePlanner, StratifiedPlanner, AdaptivePlanner)}
+
+PLANNER_NAMES = tuple(sorted(_PLANNER_TYPES))
+
+
+def planner_by_name(name: str) -> Planner:
+    if name not in _PLANNER_TYPES:
+        raise KeyError(f"unknown planner {name!r}; "
+                       f"choose from {sorted(_PLANNER_TYPES)}")
+    return _PLANNER_TYPES[name]()

@@ -1,0 +1,67 @@
+"""Shrinking: reduce a failing crash cycle to a minimal reproducer.
+
+With the seed fixed, a trial is a pure function of its crash cycle, so
+the cycle domain can be searched directly.  ``shrink_crash_cycle`` runs
+a binary search for the *failure frontier*: the earliest cycle at which
+the failure appears, under the (usually true, always checked) heuristic
+that the trial keeps failing from the first failing cycle onward -- a
+torn log entry, for instance, fails from the moment the entry goes live
+until its FASE commits.  Failure is not guaranteed monotonic in the
+cycle domain, so the result is the smallest failing cycle the bisection
+*witnessed*, never worse than the input; every probe is recorded so a
+report can show its work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    original_cycle: int
+    minimal_cycle: int
+    trials: int
+    probes: List[Tuple[int, bool]] = field(default_factory=list)
+
+    @property
+    def reduced(self) -> bool:
+        return self.minimal_cycle < self.original_cycle
+
+    def to_dict(self) -> dict:
+        return {
+            "original_cycle": self.original_cycle,
+            "minimal_cycle": self.minimal_cycle,
+            "trials": self.trials,
+            "reduced": self.reduced,
+            "probes": [list(probe) for probe in self.probes],
+        }
+
+
+def shrink_crash_cycle(fails: Callable[[int], bool], failing_cycle: int,
+                       lowest: int = 1,
+                       max_trials: int = 64) -> ShrinkResult:
+    """Bisect ``[lowest, failing_cycle]`` for the earliest failing cycle.
+
+    ``fails(cycle)`` must be deterministic (fixed seed) and must be True
+    at ``failing_cycle``; that cycle is trusted, not re-run.  The search
+    maintains "``high`` fails" as its invariant and never returns a
+    cycle it did not observe failing.
+    """
+    if failing_cycle < lowest:
+        raise ValueError("failing cycle below the search floor")
+    probes: List[Tuple[int, bool]] = []
+    low, high = lowest, failing_cycle
+    while low < high and len(probes) < max_trials:
+        mid = (low + high) // 2
+        failed = bool(fails(mid))
+        probes.append((mid, failed))
+        if failed:
+            high = mid
+        else:
+            low = mid + 1
+    return ShrinkResult(original_cycle=failing_cycle, minimal_cycle=high,
+                        trials=len(probes), probes=probes)

@@ -77,3 +77,31 @@ def test_cli_metrics_json(capsys):
 
 def test_cli_trace_unknown_benchmark_is_user_error(capsys):
     assert main(["trace", "not_a_benchmark"]) == 2
+
+
+def test_cli_validate_clean_campaign(tmp_path, capsys):
+    """A tiny power-cut campaign is consistent, exits 0, and writes the
+    CampaignReport artifact."""
+    import json
+
+    out = tmp_path / "campaign.json"
+    assert main(["validate", "--planner", "stratified", "--budget", "6",
+                 "--benchmarks", "array_swaps", "--designs",
+                 "IntelX86,PMEM-Spec", "--report-out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "Crash-consistency campaign" in printed
+    assert "CONSISTENT" in printed
+    payload = json.loads(out.read_text())
+    assert payload["consistent"] is True
+    assert payload["total_trials"] > 0
+
+
+def test_cli_validate_exits_nonzero_on_violations(capsys):
+    """The torn-log fault (the deliberate-bug fixture) must gate: the
+    command exits 1 and the table names the violated invariant."""
+    assert main(["validate", "--fault", "torn-log", "--budget", "40",
+                 "--benchmarks", "array_swaps", "--designs", "PMEM-Spec",
+                 "--no-shrink"]) == 1
+    printed = capsys.readouterr().out
+    assert "structural" in printed
+    assert "FAILING" in printed

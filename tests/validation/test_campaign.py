@@ -1,0 +1,147 @@
+"""Campaign engine: trials, profiling, fault injection, shrinking, and
+the report artifact -- including the deliberate-bug acceptance fixture
+(a torn undo log must be caught, shrunk, and named in the report)."""
+
+import json
+
+import pytest
+
+from repro.validation import (
+    DEFAULT_FAULTS,
+    CampaignReport,
+    TrialSpec,
+    fault_by_name,
+    profile_cell,
+    run_campaign,
+    run_trial,
+)
+
+CELL = dict(workload="array_swaps", design="PMEM-Spec")
+
+
+def test_trial_spec_validates_names():
+    with pytest.raises(ValueError):
+        TrialSpec(workload="nope", design="PMEM-Spec")
+    with pytest.raises(ValueError):
+        TrialSpec(workload="array_swaps", design="PMEM-Speculative")
+    with pytest.raises(ValueError):
+        TrialSpec(workload="array_swaps", design="PMEM-Spec",
+                  fault="gamma-ray")
+
+
+@pytest.mark.parametrize("fault", DEFAULT_FAULTS)
+def test_default_faults_keep_recovery_consistent(fault):
+    """Every stock fault model, injected mid-run, must recover clean:
+    these are the campaign's steady-state expectation."""
+    outcome = run_trial(TrialSpec(fault=fault, crash_cycle=900, **CELL))
+    assert outcome["consistent"], outcome["violations"]
+    assert outcome["history_events"] > 0
+    assert outcome["spec"]["fault"] == fault
+
+
+def test_virtual_misspec_runs_to_completion():
+    """A misspeculation is a *virtual* power failure (§4.4): the machine
+    stays on and the runtime's abort/retry carries the run to a clean
+    finish, so the horizon extends past the injection cycle."""
+    outcome = run_trial(TrialSpec(fault="virtual-misspec",
+                                  crash_cycle=900, **CELL))
+    assert outcome["consistent"]
+    assert outcome["horizon"] > 900
+
+
+def test_profile_cell_exposes_run_structure():
+    profile = profile_cell(TrialSpec(**CELL))
+    assert profile.total_cycles > 0
+    assert profile.fase_intervals and profile.commit_cycles
+    assert profile.issue_end <= profile.total_cycles
+    assert profile.persist_cycles == sorted(set(profile.persist_cycles))
+    assert profile.persist_cycles[-1] <= profile.total_cycles
+
+
+def test_fault_registry_round_trips():
+    for name in DEFAULT_FAULTS + ("torn-log",):
+        assert fault_by_name(name).name == name
+    with pytest.raises(KeyError):
+        fault_by_name("cosmic")
+
+
+def test_power_cut_campaign_is_clean():
+    report = run_campaign(["queue"], ["IntelX86", "PMEM-Spec"],
+                          planner="stratified", budget=8, shrink=True)
+    assert report.consistent
+    assert report.total_trials > 0
+    assert report.violation_kinds() == []
+    rows = report.rows()
+    assert {row["design"] for row in rows} == {"IntelX86", "PMEM-Spec"}
+    assert all(row["failures"] == 0 for row in rows)
+
+
+def test_campaigns_are_reproducible():
+    kwargs = dict(planner="stratified", budget=6, shrink=False)
+    first = run_campaign(["array_swaps"], ["PMEM-Spec"], **kwargs)
+    second = run_campaign(["array_swaps"], ["PMEM-Spec"], **kwargs)
+    crash_cycles = lambda report: [  # noqa: E731
+        failure["crash_cycle"] for cell in report.cells
+        for failure in cell["failures"]]
+    assert first.total_trials == second.total_trials
+    assert crash_cycles(first) == crash_cycles(second)
+    assert first.cells[0]["trials"] == second.cells[0]["trials"]
+
+
+def test_torn_log_campaign_catches_shrinks_and_names_the_bug():
+    """The acceptance fixture: a deliberately torn undo log (newest live
+    entry dropped from the snapshot) must produce failing trials, a
+    shrunk minimal crash cycle, and a machine-readable report naming the
+    violated invariant."""
+    report = run_campaign(["array_swaps"], ["PMEM-Spec"],
+                          planner="stratified", fault="torn-log",
+                          budget=40, shrink=True)
+    assert not report.consistent
+    assert "structural" in report.violation_kinds()
+
+    (cell,) = report.cells
+    assert cell["failures"]
+    failure = cell["failures"][0]
+    assert any("dropped undo-log entry" in note
+               for note in failure["fault_notes"])
+
+    shrunk = cell["shrink"]
+    assert shrunk is not None
+    assert 1 <= shrunk["minimal_cycle"] <= shrunk["original_cycle"]
+    assert shrunk["minimal_violations"]
+    assert shrunk["minimal_violations"][0]["kind"] == "structural"
+
+    # The artifact is machine-readable end to end.
+    payload = json.loads(report.to_json())
+    assert payload["schema_version"] == report.schema_version
+    assert payload["consistent"] is False
+    assert payload["violation_kinds"] == ["structural"]
+    assert payload["cells"][0]["shrink"]["minimal_cycle"] == \
+        shrunk["minimal_cycle"]
+
+
+def test_adaptive_planner_refines_around_failures():
+    """Round two of an adaptive torn-log campaign samples the failing
+    neighborhoods, so it finds at least as many failures as stratified
+    did with the same budget."""
+    stratified = run_campaign(["array_swaps"], ["PMEM-Spec"],
+                              planner="stratified", fault="torn-log",
+                              budget=30, shrink=False)
+    adaptive = run_campaign(["array_swaps"], ["PMEM-Spec"],
+                            planner="adaptive", fault="torn-log",
+                            budget=30, shrink=False)
+    assert adaptive.total_failures >= stratified.total_failures
+    assert adaptive.total_failures > 0
+
+
+def test_report_rows_and_save(tmp_path):
+    report = CampaignReport(
+        params={"planner": "stratified"},
+        cells=[{"workload": "queue", "design": "HOPS", "fault": "power-cut",
+                "total_cycles": 100, "trials": 3, "failures": [],
+                "violation_kinds": [], "shrink": None}])
+    (row,) = report.rows()
+    assert row["violation_kinds"] == "-"
+    assert row["minimal_cycle"] is None
+    path = report.save(str(tmp_path / "report.json"))
+    assert json.loads(open(path).read())["total_trials"] == 3

@@ -1,0 +1,218 @@
+"""Oracle regression suite: hand-crafted histories with known verdicts.
+
+Each test builds the smallest history exhibiting (or deliberately not
+exhibiting) one invariant violation, so a change to the oracle's replay
+semantics fails loudly and names the invariant it broke.
+"""
+
+from repro.validation import (
+    FASE_ATOMICITY,
+    INTRA_THREAD_ORDER,
+    SPEC_ID_ORDER,
+    STALE_READ,
+    PersistOrderOracle,
+    detection,
+    fase_span,
+    persist,
+    read,
+    writeback,
+)
+
+
+def kinds_of(violations):
+    return sorted({violation.kind for violation in violations})
+
+
+# ------------------------------------------------------ clean histories
+
+
+def test_clean_history_has_no_false_positives():
+    """A well-behaved run: monitored writeback retired by its persist,
+    in-order persists, tagged persists with rising spec-IDs, and a
+    commit/abort/retry FASE sequence."""
+    history = [
+        fase_span(core=0, fase=0, start=0, end=40, outcome="commit"),
+        writeback(block=0x10, cycle=5),
+        persist(block=0x20, cycle=10, core=0, spec_id=1),
+        persist(block=0x21, cycle=12, core=0, spec_id=1),
+        persist(block=0x10, cycle=14, core=0),  # retires the writeback
+        persist(block=0x20, cycle=20, core=0, spec_id=2),
+        fase_span(core=0, fase=1, start=41, end=80, outcome="abort"),
+        fase_span(core=0, fase=1, start=81, end=120, outcome="commit",
+                  attempt=2),
+        fase_span(core=1, fase=0, start=0, end=60, outcome="commit"),
+    ]
+    assert PersistOrderOracle().check(history) == []
+
+
+def test_equal_cycle_persists_are_in_order():
+    """The PMC can accept two stores in the same cycle (different
+    banks); equal acceptance cycles respect issue order."""
+    history = [persist(block=1, cycle=10, core=0),
+               persist(block=2, cycle=10, core=0)]
+    assert PersistOrderOracle().check(history) == []
+
+
+# ----------------------------------------------- intra-thread FIFO order
+
+
+def test_out_of_order_persist_acceptance_is_flagged():
+    history = [persist(block=1, cycle=100, core=0),
+               persist(block=2, cycle=90, core=0)]
+    violations = PersistOrderOracle().check(history)
+    assert kinds_of(violations) == [INTRA_THREAD_ORDER]
+    assert "0x2" in violations[0].detail and "0x1" in violations[0].detail
+
+
+def test_reordering_across_cores_is_allowed():
+    """The FIFO property is per core; cross-core acceptance order is
+    unconstrained."""
+    history = [persist(block=1, cycle=100, core=0),
+               persist(block=2, cycle=90, core=1)]
+    assert PersistOrderOracle().check(history) == []
+
+
+# ------------------------------------------------------------ stale read
+
+
+def test_undetected_writeback_read_persist_is_stale_read():
+    """Figure 5's WriteBack-Read-Persist pattern with no detection event
+    means a regular-path read returned stale data silently."""
+    history = [writeback(block=0x40, cycle=10),
+               read(block=0x40, cycle=12),
+               persist(block=0x40, cycle=14, core=0)]
+    violations = PersistOrderOracle().check(history)
+    assert kinds_of(violations) == [STALE_READ]
+    assert violations[0].cycle == 14
+
+
+def test_detected_stale_read_is_clean():
+    """Same pattern, but the hardware flagged it at the persist's
+    acceptance cycle -- recovery takes over, nothing to report."""
+    history = [writeback(block=0x40, cycle=10),
+               read(block=0x40, cycle=12),
+               detection(block=0x40, cycle=14),
+               persist(block=0x40, cycle=14, core=0)]
+    assert PersistOrderOracle().check(history) == []
+
+
+def test_read_without_prior_writeback_is_clean():
+    """Read-then-persist with no dropped writeback involved: the read
+    could not have been stale."""
+    history = [read(block=0x40, cycle=12),
+               persist(block=0x40, cycle=14, core=0)]
+    assert PersistOrderOracle().check(history) == []
+
+
+def test_expired_entry_is_not_flagged():
+    """With a finite window the entry lazily expires before the persist
+    arrives -- the hardware would have forgotten the block, so the
+    oracle must too (this mirrors the speculation-window guarantee that
+    the persist wave front has passed by then)."""
+    history = [writeback(block=0x40, cycle=10),
+               read(block=0x40, cycle=12),
+               persist(block=0x40, cycle=300, core=0)]
+    assert PersistOrderOracle(window=100).check(history) == []
+    # The same history with an infinite window IS a stale read.
+    assert kinds_of(PersistOrderOracle().check(history)) == [STALE_READ]
+
+
+def test_stale_read_check_can_be_disabled():
+    """Baseline designs persist their writebacks; the pattern has no
+    meaning there and the campaign disables the replay."""
+    history = [writeback(block=0x40, cycle=10),
+               read(block=0x40, cycle=12),
+               persist(block=0x40, cycle=14, core=0)]
+    oracle = PersistOrderOracle(check_stale_reads=False)
+    assert oracle.check(history) == []
+
+
+# ------------------------------------------------- spec-ID monotonicity
+
+
+def test_out_of_order_spec_ids_are_flagged():
+    history = [persist(block=0x80, cycle=10, core=0, spec_id=5),
+               persist(block=0x80, cycle=20, core=0, spec_id=3)]
+    violations = PersistOrderOracle().check(history)
+    assert kinds_of(violations) == [SPEC_ID_ORDER]
+    assert "spec-id 3" in violations[0].detail
+
+
+def test_detected_spec_id_inversion_is_clean():
+    history = [persist(block=0x80, cycle=10, core=0, spec_id=5),
+               detection(block=0x80, cycle=20),
+               persist(block=0x80, cycle=20, core=0, spec_id=3)]
+    assert PersistOrderOracle().check(history) == []
+
+
+def test_rising_and_repeated_spec_ids_are_clean():
+    history = [persist(block=0x80, cycle=10, core=0, spec_id=3),
+               persist(block=0x80, cycle=20, core=0, spec_id=3),
+               persist(block=0x80, cycle=30, core=0, spec_id=7)]
+    assert PersistOrderOracle().check(history) == []
+
+
+def test_deallocated_entry_forgets_its_spec_id():
+    """An untagged persist in Evict state deallocates the entry (the
+    hardware's memory of the block is gone); a later lower spec-ID is
+    legitimately invisible and must not be flagged."""
+    history = [persist(block=0x80, cycle=10, core=0, spec_id=5),
+               writeback(block=0x80, cycle=15),
+               persist(block=0x80, cycle=20, core=0),  # deallocates
+               persist(block=0x80, cycle=30, core=0, spec_id=3)]
+    assert PersistOrderOracle().check(history) == []
+
+
+# -------------------------------------------------------- FASE atomicity
+
+
+def test_overlapping_fase_attempts_are_flagged():
+    history = [fase_span(core=0, fase=0, start=0, end=100),
+               fase_span(core=0, fase=1, start=50, end=150)]
+    violations = PersistOrderOracle().check(history)
+    assert kinds_of(violations) == [FASE_ATOMICITY]
+
+
+def test_one_cycle_span_overlap_is_tolerated():
+    """The tracer widens zero-length spans to 1 cycle, so back-to-back
+    attempts may nominally overlap by one cycle."""
+    history = [fase_span(core=0, fase=0, start=0, end=100),
+               fase_span(core=0, fase=1, start=99, end=150)]
+    assert PersistOrderOracle().check(history) == []
+
+
+def test_abort_must_be_reexecuted_next():
+    history = [fase_span(core=0, fase=0, start=0, end=100,
+                         outcome="abort"),
+               fase_span(core=0, fase=1, start=101, end=200,
+                         outcome="commit")]
+    violations = PersistOrderOracle().check(history)
+    assert kinds_of(violations) == [FASE_ATOMICITY]
+    assert "re-execution" in violations[0].detail
+
+
+def test_retry_must_increment_attempt():
+    history = [fase_span(core=0, fase=0, start=0, end=100,
+                         outcome="abort"),
+               fase_span(core=0, fase=0, start=101, end=200,
+                         outcome="commit", attempt=1)]
+    violations = PersistOrderOracle().check(history)
+    assert kinds_of(violations) == [FASE_ATOMICITY]
+
+
+def test_committed_fase_must_not_run_again():
+    history = [fase_span(core=0, fase=0, start=0, end=100,
+                         outcome="commit"),
+               fase_span(core=0, fase=0, start=101, end=200,
+                         outcome="commit", attempt=2)]
+    violations = PersistOrderOracle().check(history)
+    assert kinds_of(violations) == [FASE_ATOMICITY]
+    assert "after committing" in violations[0].detail
+
+
+def test_retry_pending_at_crash_is_clean():
+    """A crash between the abort and its re-execution is exactly what
+    recovery handles; no violation."""
+    history = [fase_span(core=0, fase=0, start=0, end=100,
+                         outcome="abort")]
+    assert PersistOrderOracle().check(history) == []

@@ -1,0 +1,118 @@
+"""Planner behavior on synthetic run profiles (no simulator involved)."""
+
+import random
+
+import pytest
+
+from repro.validation import (
+    AdaptivePlanner,
+    ExhaustivePlanner,
+    RunProfile,
+    StratifiedPlanner,
+    planner_by_name,
+)
+from repro.validation.planners import COMMIT_HALO, FAILURE_HALO
+
+
+def make_profile(with_boundaries=True):
+    """Two FASEs, two commits, a drain tail, and (optionally) the
+    persist acceptance boundaries of the run."""
+    boundaries = [55, 60, 90, 95, 380, 400, 760, 790, 930]
+    return RunProfile(
+        total_cycles=1000,
+        fase_intervals=[(50, 400), (700, 800)],
+        commit_cycles=[395, 795],
+        issue_end=800,
+        persist_cycles=boundaries if with_boundaries else [],
+    )
+
+
+def test_phase_classification():
+    profile = make_profile()
+    assert profile.phase_of(60) == "inside-fase"
+    assert profile.phase_of(395) == "at-commit"
+    assert profile.phase_of(395 - COMMIT_HALO) == "at-commit"
+    assert profile.phase_of(900) == "during-drain"
+    assert profile.phase_of(500) == "between-fases"
+
+
+def test_strata_use_persist_boundaries_when_known():
+    """Boundary cycles are the distinct crash states; each stratum is
+    exactly its classified boundaries."""
+    strata = make_profile().stratum_cycles()
+    assert strata["inside-fase"] == [55, 60, 90, 95, 760]
+    assert strata["at-commit"] == [380, 400, 790]
+    assert strata["during-drain"] == [930]
+
+
+def test_strata_fall_back_to_ranges_without_boundaries():
+    strata = make_profile(with_boundaries=False).stratum_cycles()
+    assert 60 in strata["inside-fase"]
+    assert 395 in strata["at-commit"]
+    assert 900 in strata["during-drain"]
+    # Uniform fallback is dense, not boundary-sparse.
+    assert len(strata["inside-fase"]) > 100
+
+
+def test_exhaustive_covers_every_cycle_within_budget():
+    profile = RunProfile(total_cycles=50)
+    plan = ExhaustivePlanner().plan(profile, budget=100,
+                                    rng=random.Random(0))
+    assert plan == list(range(1, 50))
+
+
+def test_exhaustive_combs_evenly_over_budget():
+    profile = RunProfile(total_cycles=10_000)
+    plan = ExhaustivePlanner().plan(profile, budget=100,
+                                    rng=random.Random(0))
+    assert len(plan) <= 100
+    assert plan == sorted(set(plan))
+    assert plan[-1] == 9999
+    gaps = [b - a for a, b in zip(plan, plan[1:])]
+    assert max(gaps) - min(gaps) <= 1  # evenly spaced
+
+
+def test_stratified_is_deterministic_and_budgeted():
+    profile = make_profile()
+    plan_a = StratifiedPlanner().plan(profile, 6, random.Random("seed"))
+    plan_b = StratifiedPlanner().plan(profile, 6, random.Random("seed"))
+    assert plan_a == plan_b
+    assert len(plan_a) <= 6
+    assert all(1 <= cycle < 1000 for cycle in plan_a)
+
+
+def test_stratified_samples_every_nonempty_stratum():
+    profile = make_profile()
+    plan = StratifiedPlanner().plan(profile, 9, random.Random(1))
+    strata = profile.stratum_cycles()
+    for name, cycles in strata.items():
+        assert set(plan) & set(cycles), f"stratum {name} unsampled"
+
+
+def test_stratified_donates_budget_from_small_strata():
+    """The drain stratum has one candidate; its unused share must flow
+    to the bigger strata instead of shrinking the plan."""
+    profile = make_profile()
+    plan = StratifiedPlanner().plan(profile, 9, random.Random(2))
+    assert len(plan) == 9  # all nine boundaries fit a budget of nine
+
+
+def test_adaptive_without_failures_matches_stratified():
+    profile = make_profile()
+    adaptive = AdaptivePlanner().plan(profile, 6, random.Random("x"))
+    stratified = StratifiedPlanner().plan(profile, 6, random.Random("x"))
+    assert adaptive == stratified
+
+
+def test_adaptive_clusters_around_failures():
+    profile = make_profile()
+    plan = AdaptivePlanner().plan(profile, 20, random.Random(3),
+                                  failures=[760])
+    near = [c for c in plan if abs(c - 760) <= FAILURE_HALO]
+    assert len(near) >= 5
+
+
+def test_planner_by_name_rejects_unknown():
+    with pytest.raises(KeyError):
+        planner_by_name("clairvoyant")
+    assert planner_by_name("stratified").name == "stratified"

@@ -1,0 +1,65 @@
+"""Shrinking a failing crash cycle to a minimal reproducer."""
+
+from repro.validation import shrink_crash_cycle
+
+
+def counting(predicate):
+    calls = []
+
+    def fails(cycle):
+        calls.append(cycle)
+        return predicate(cycle)
+
+    fails.calls = calls
+    return fails
+
+
+def test_monotone_failure_shrinks_to_threshold():
+    """If every cycle >= 50 fails, bisection must land exactly on 50."""
+    fails = counting(lambda cycle: cycle >= 50)
+    result = shrink_crash_cycle(fails, failing_cycle=473)
+    assert result.minimal_cycle == 50
+    assert result.reduced
+    assert result.original_cycle == 473
+
+
+def test_isolated_failure_returns_itself():
+    """A single failing cycle with passing neighbors cannot be reduced;
+    the original witness must survive shrinking."""
+    fails = counting(lambda cycle: cycle == 137)
+    result = shrink_crash_cycle(fails, failing_cycle=137)
+    assert result.minimal_cycle == 137
+    assert not result.reduced
+
+
+def test_nonmonotone_failure_returns_a_witnessed_failure():
+    """With scattered failing cycles the result must still be a cycle
+    the predicate actually failed on, never an untested guess."""
+    failing = {30, 137, 400}
+    fails = counting(lambda cycle: cycle in failing)
+    result = shrink_crash_cycle(fails, failing_cycle=400)
+    assert result.minimal_cycle in failing
+    assert result.minimal_cycle <= 400
+
+
+def test_probe_budget_is_respected():
+    fails = counting(lambda cycle: cycle >= 3)
+    result = shrink_crash_cycle(fails, failing_cycle=1_000_000,
+                                max_trials=10)
+    assert len(fails.calls) <= 10
+    assert result.trials == len(fails.calls)
+
+
+def test_trusts_the_original_witness():
+    """The failing cycle handed in was already observed failing; shrink
+    must not spend a trial re-running it."""
+    fails = counting(lambda cycle: cycle >= 50)
+    shrink_crash_cycle(fails, failing_cycle=473)
+    assert 473 not in fails.calls
+
+
+def test_result_serialises():
+    fails = counting(lambda cycle: cycle >= 5)
+    payload = shrink_crash_cycle(fails, failing_cycle=20).to_dict()
+    assert payload["minimal_cycle"] == 5
+    assert {"original_cycle", "trials", "reduced"} <= set(payload)
