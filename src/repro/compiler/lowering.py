@@ -32,6 +32,7 @@ flavors.
 
 from __future__ import annotations
 
+import weakref
 from typing import List, Sequence, Tuple
 
 from ..isa import (
@@ -351,6 +352,15 @@ def lower_rollback(writes, thread_id: int, flavor: str,
     return ops
 
 
+# Lowering is a pure function of (program, flavor, log_mode), its
+# output is never mutated at runtime (machine ops are init-only value
+# objects), and campaign-style callers lower the *same* program once per
+# trial -- memoise per live program object.  Weak keys keep the cache
+# from pinning programs past their owners.
+_LOWERED_CACHE: "weakref.WeakKeyDictionary[Program, dict]" = \
+    weakref.WeakKeyDictionary()
+
+
 def lower_program(program: Program, flavor: str,
                   log_mode: str = "undo") -> LoweredProgram:
     """Lower every thread of a workload program.
@@ -361,6 +371,10 @@ def lower_program(program: Program, flavor: str,
     persisted epoch word can never reach and recovery would ignore its
     undo records.
     """
+    per_program = _LOWERED_CACHE.setdefault(program, {})
+    cached = per_program.get((flavor, log_mode))
+    if cached is not None:
+        return cached
     threads = []
     for thread in program.threads:
         fases = []
@@ -372,4 +386,6 @@ def lower_program(program: Program, flavor: str,
                 epoch += 1
         threads.append(LoweredThread(thread.thread_id, fases,
                                      thread.think_cycles))
-    return LoweredProgram(program, flavor, threads)
+    lowered = LoweredProgram(program, flavor, threads)
+    per_program[(flavor, log_mode)] = lowered
+    return lowered

@@ -133,3 +133,12 @@ class PMEMSpec(Design):
 
     def quiesce_time(self, now: int) -> int:
         return max([now] + list(self._last_accept))
+
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["last_accept"] = list(self._last_accept)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._last_accept = list(state["last_accept"])

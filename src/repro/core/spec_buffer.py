@@ -50,6 +50,16 @@ class StallController:
     def stalled(self) -> bool:
         return self._resume_at > 0
 
+    def capture_state(self) -> dict:
+        return {"resume_at": self._resume_at,
+                "stalls": self.stalls,
+                "total_stall_cycles": self.total_stall_cycles}
+
+    def restore_state(self, state: dict) -> None:
+        self._resume_at = state["resume_at"]
+        self.stalls = state["stalls"]
+        self.total_stall_cycles = state["total_stall_cycles"]
+
 
 class SpecBufferEntry:
     """One speculation-buffer row (Figure 8)."""
@@ -246,3 +256,21 @@ class SpeculationBuffer:
         self._expire(now)
         entry = self._find(block)
         return entry.state if entry is not None else automata.INITIAL
+
+    # ---------------------------------------------------------- snapshotting
+
+    def capture_state(self) -> dict:
+        # Entry order matters: _find scans linearly and _expire keeps
+        # order, so the restored list must match exactly.
+        return {"entries": [{"block": entry.block, "state": entry.state,
+                             "spec_id": entry.spec_id,
+                             "inserted": entry.inserted}
+                            for entry in self._entries],
+                "stats": self.stats.capture_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self._entries = [
+            SpecBufferEntry(entry["block"], entry["state"],
+                            entry["inserted"], entry["spec_id"])
+            for entry in state["entries"]]
+        self.stats.restore_state(state["stats"])

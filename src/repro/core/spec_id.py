@@ -68,3 +68,16 @@ class SpecIdFile:
         """Thread scheduled in: reload its banked spec-ID (0 if none)."""
         self.registers[core_id].value = self._saved.pop(
             thread_id, SpecIdCounter.UNTAGGED)
+
+    # -------------------------------------------------------- snapshotting
+
+    def capture_state(self) -> dict:
+        return {"counter": self.counter.capture_state(),
+                "registers": [reg.value for reg in self.registers],
+                "saved": list(self._saved.items())}
+
+    def restore_state(self, state: dict) -> None:
+        self.counter.restore_state(state["counter"])
+        for reg, value in zip(self.registers, state["registers"]):
+            reg.value = value
+        self._saved = {thread: value for thread, value in state["saved"]}

@@ -73,6 +73,10 @@ class Core:
         self.stats = Counter()
         self.held_locks: List[int] = []
         self.finish_time = None
+        # Progress through the thread's FASE list; part of the snapshot
+        # (the FASE boundary is the core's only safe capture point, so
+        # this cursor plus plain data is the whole resume state).
+        self._fase_cursor = 0
 
     def _loads_settled(self, now: int) -> int:
         """Time by which every outstanding PM-miss load has returned."""
@@ -85,13 +89,44 @@ class Core:
     # ------------------------------------------------------------ main loop
 
     def run(self):
-        """DES process body: execute every FASE (with retries), then stop."""
-        for fase in self.thread.fases:
+        """DES process body: execute every FASE (with retries), then stop.
+
+        The top of the loop is the core's *park point*: between FASEs it
+        holds no locks and has no undo state, so the snapshot ladder may
+        park it here (``park_point`` returns an event to wait on) while
+        the rest of the machine quiesces for a capture.  A restored core
+        resumes from ``_fase_cursor`` with an already-finished core
+        falling straight through (``finish_time`` survives the restore).
+        """
+        while self._fase_cursor < len(self.thread.fases):
+            park = self.system.park_point(self)
+            if park is not None:
+                yield park
+                continue
+            fase = self.thread.fases[self._fase_cursor]
             yield from self._run_fase_with_retries(fase)
+            self._fase_cursor += 1
             if self.thread.think_cycles:
                 yield self.env.timeout(self.thread.think_cycles)
-        self.finish_time = self.env.now
+        if self.finish_time is None:
+            self.finish_time = self.env.now
         return self.env.now
+
+    def capture_state(self) -> dict:
+        return {"fase_cursor": self._fase_cursor,
+                "finish_time": self.finish_time,
+                "held_locks": list(self.held_locks),
+                "stats": self.stats.capture_state(),
+                "store_queue": self.store_queue.capture_state(),
+                "misses": self._misses.capture_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self._fase_cursor = state["fase_cursor"]
+        self.finish_time = state["finish_time"]
+        self.held_locks = list(state["held_locks"])
+        self.stats.restore_state(state["stats"])
+        self.store_queue.restore_state(state["store_queue"])
+        self._misses.restore_state(state["misses"])
 
     def _run_fase_with_retries(self, fase: LoweredFase):
         trace = self.env.trace

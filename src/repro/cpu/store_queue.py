@@ -42,3 +42,11 @@ class StoreQueue:
 
     def occupancy(self, now: int) -> int:
         return self._queue.occupancy(now)
+
+    def capture_state(self) -> dict:
+        return {"queue": self._queue.capture_state(),
+                "stats": self.stats.capture_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self._queue.restore_state(state["queue"])
+        self.stats.restore_state(state["stats"])

@@ -36,12 +36,16 @@ from .runner import (
     run_benchmark,
 )
 from .sweep import (
+    STRUCTURAL_FIELDS,
     ParallelExecutor,
     RunSpec,
     Sweep,
     SweepError,
     SweepResult,
+    build_spec_system,
     execute_spec,
+    fork_warm_starts,
+    structural_mismatches,
 )
 
 __all__ = [
@@ -52,8 +56,9 @@ __all__ = [
     "format_timeseries", "sparkline", "execute_spec",
     "figure2_annotation_burden", "full_comparison",
     "lazy_vs_eager_recovery", "misspeculation_rates",
-    "ParallelExecutor", "RunSpec", "Sweep", "SweepError", "SweepResult",
-    "undo_vs_redo_ablation",
+    "ParallelExecutor", "RunSpec", "STRUCTURAL_FIELDS", "Sweep",
+    "SweepError", "SweepResult", "build_spec_system", "fork_warm_starts",
+    "structural_mismatches", "undo_vs_redo_ablation",
     "naive_tagging_ablation", "normalized_throughput", "run_benchmark",
     "table3_rows",
 ]

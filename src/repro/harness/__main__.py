@@ -15,6 +15,13 @@ Usage::
     python -m repro.harness metrics tpcc --design PMEM-Spec --summary
     python -m repro.harness validate --planner stratified --budget 200 \
         --jobs 4 --report-out campaign.json
+    python -m repro.harness validate --snapshot-every 50 \
+        --snapshot-dir snaps/   # warm-start trials from rung snapshots
+    python -m repro.harness snapshot capture --benchmark hashmap \
+        --design PMEM-Spec --snapshot-every 50 --snapshot-dir snaps/
+    python -m repro.harness snapshot inspect --snapshot-dir snaps/
+    python -m repro.harness snapshot verify --benchmark hashmap \
+        --design PMEM-Spec --snapshot-every 50 --snapshot-dir snaps/
 
 ``--jobs N`` fans the experiment grid out over N worker processes
 (``0`` = all cores).  Results are cached per grid cell (keyed by a
@@ -291,7 +298,12 @@ def cmd_validate(args) -> int:
             seed=args.seed, n_threads=args.val_threads,
             fases_per_thread=args.val_fases, log_mode=args.log_mode,
             shrink=args.shrink, executor=args.executor,
-            progress=progress_log.info if args.progress else None)
+            progress=progress_log.info if args.progress else None,
+            snapshot_dir=(args.snapshot_dir
+                          if args.snapshot_every or args.snapshot_rungs
+                          else None),
+            snapshot_every=args.snapshot_every,
+            snapshot_rungs=args.snapshot_rungs)
     console(format_campaign_table(
         report.rows(),
         f"Crash-consistency campaign: fault={args.fault} "
@@ -306,6 +318,66 @@ def cmd_validate(args) -> int:
         report.save(args.report_out)
         console(f"campaign report written to {args.report_out}")
     return 0 if report.consistent else 1
+
+
+def cmd_snapshot(args) -> int:
+    """Snapshot-ladder management: capture / inspect / verify.
+
+    ``capture`` runs one cell's canonical laddered run and stores its
+    rungs; ``inspect`` lists stored indexes (or one cell's rungs);
+    ``verify`` replays every stored rung and checks each lands on the
+    straight-line run's end fingerprint (exit 1 on any mismatch).
+    """
+    from ..snapshot import SnapshotStore
+    from ..validation.campaign import (TrialSpec, _cell_index_name,
+                                       snapshot_cell, verify_cell)
+    action = args.target or "inspect"
+    if action not in ("capture", "inspect", "verify"):
+        raise ValueError(f"unknown snapshot action {action!r}; choose "
+                         f"capture, inspect, or verify")
+    if not args.snapshot_dir:
+        raise ValueError("snapshot command needs --snapshot-dir")
+
+    def cell_spec() -> TrialSpec:
+        if not args.snapshot_every:
+            raise ValueError(f"snapshot {action} needs --snapshot-every")
+        return TrialSpec(
+            workload=args.benchmark, design=args.design, fault=args.fault,
+            n_threads=args.val_threads, fases_per_thread=args.val_fases,
+            seed=args.seed, log_mode=args.log_mode,
+            snapshot_every=args.snapshot_every,
+            snapshot_dir=args.snapshot_dir)
+
+    if action == "capture":
+        spec = cell_spec()
+        rungs = _timed("snapshot-capture", lambda: snapshot_cell(spec))
+        console(f"captured {len(rungs)} rungs for {spec.describe()} "
+                f"(index {_cell_index_name(spec)})")
+        for rung in rungs:
+            console(f"  rung {rung['rung']:>3} @ cycle {rung['cycle']:>8} "
+                    f"fp {rung['fingerprint'][:16]}")
+        return 0
+    if action == "inspect":
+        store = SnapshotStore(args.snapshot_dir)
+        names = store.indexes()
+        console(f"store {args.snapshot_dir}: {len(names)} indexes, "
+                f"{store.total_bytes()} bytes")
+        for name in names:
+            rungs = store.load_index(name)
+            cycles = [r["cycle"] for r in rungs]
+            span = (f"cycles {min(cycles)}..{max(cycles)}"
+                    if cycles else "empty")
+            console(f"  {name}: {len(rungs)} rungs ({span})")
+        return 0
+    spec = cell_spec()
+    outcome = _timed("snapshot-verify", lambda: verify_cell(spec))
+    for check in outcome["checks"]:
+        status = "ok" if check["fingerprint_ok"] else "MISMATCH"
+        console(f"  rung {check['rung']:>3} @ cycle {check['cycle']:>8} "
+                f"{status}")
+    verdict = "deterministic" if outcome["ok"] else "NON-DETERMINISTIC"
+    console(f"{spec.describe()}: {len(outcome['checks'])} rungs, {verdict}")
+    return 0 if outcome["ok"] else 1
 
 
 def cmd_all(args) -> None:
@@ -336,6 +408,7 @@ COMMANDS = {
     "run": cmd_run,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "snapshot": cmd_snapshot,
     "validate": cmd_validate,
     "all": cmd_all,
 }
@@ -417,6 +490,19 @@ def main(argv=None) -> int:
     parser.add_argument("--report-out", default=None, metavar="FILE",
                         help="validate command: write the CampaignReport "
                              "JSON artifact here")
+    parser.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                        help="snapshot/validate commands: rung-snapshot "
+                             "store directory")
+    parser.add_argument("--snapshot-every", type=int, default=0,
+                        metavar="K",
+                        help="snapshot ladder interval in persist events "
+                             "(0 = off; validate restores trials from "
+                             "the nearest rung when on)")
+    parser.add_argument("--snapshot-rungs", type=int, default=0,
+                        metavar="N",
+                        help="validate command: size each cell's ladder "
+                             "to ~N rungs from a probe run instead of a "
+                             "fixed --snapshot-every interval")
     parser.add_argument("--log-level", default="info",
                         choices=("debug", "info", "warning", "error"),
                         help="diagnostic verbosity on stderr")

@@ -151,3 +151,28 @@ class Cache:
 
     def __contains__(self, block: int) -> bool:
         return self.lookup(block, touch=False) is not None
+
+    def capture_state(self) -> dict:
+        # Sets as an ordered item list: dict iteration order is
+        # insertion order, and replacement decisions walk it, so the
+        # restore must rebuild the same order to replay identically.
+        return {"sets": [
+                    (set_index,
+                     [{"block": line.block, "state": line.state,
+                       "data": list(line.data.items()),
+                       "lru_tick": line.lru_tick}
+                      for line in cache_set])
+                    for set_index, cache_set in self._sets.items()],
+                "tick": self._tick,
+                "stats": self.stats.capture_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self._sets = {}
+        for set_index, lines in state["sets"]:
+            self._sets[set_index] = [
+                CacheLine(line["block"], line["state"],
+                          {addr: value for addr, value in line["data"]},
+                          line["lru_tick"])
+                for line in lines]
+        self._tick = state["tick"]
+        self.stats.restore_state(state["stats"])

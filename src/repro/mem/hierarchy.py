@@ -47,6 +47,12 @@ class MemoryImage:
     def snapshot(self) -> Dict[int, int]:
         return dict(self._values)
 
+    def capture_state(self) -> dict:
+        return {"values": list(self._values.items())}
+
+    def restore_state(self, state: dict) -> None:
+        self._values = {addr: value for addr, value in state["values"]}
+
 
 class LoadResult:
     """Outcome of a load: synchronous (value/done) or event-completed."""
@@ -87,6 +93,30 @@ class CacheHierarchy:
         self._sharers: Dict[int, set] = {}
         self.stats = Counter()
 
+    # ---------------------------------------------------------- snapshotting
+
+    def capture_state(self) -> dict:
+        # Sharer sets hold small core ids; capture sorted for a stable
+        # encoding (value-ordered iteration matches CPython's small-int
+        # set order on restore, so replay is unaffected).
+        return {"l1s": [l1.capture_state() for l1 in self.l1s],
+                "llc": self.llc.capture_state(),
+                "sharers": [(block, sorted(cores))
+                            for block, cores in self._sharers.items()],
+                "flush_path": self.flush_path.capture_state(),
+                "image": self.image.capture_state(),
+                "stats": self.stats.capture_state()}
+
+    def restore_state(self, state: dict) -> None:
+        for l1, l1_state in zip(self.l1s, state["l1s"]):
+            l1.restore_state(l1_state)
+        self.llc.restore_state(state["llc"])
+        self._sharers = {block: set(cores)
+                         for block, cores in state["sharers"]}
+        self.flush_path.restore_state(state["flush_path"])
+        self.image.restore_state(state["image"])
+        self.stats.restore_state(state["stats"])
+
     # ------------------------------------------------------------ coherence
 
     def _sharer_add(self, core_id: int, block: int) -> None:
@@ -108,6 +138,21 @@ class CacheHierarchy:
             if line is not None and line.state == MODIFIED:
                 return owner
         return None
+
+    def _snoop_downgrade_peers(self, core_id: int, block: int) -> bool:
+        """A read snoop reached ``block``: every other L1 copy must drop
+        to SHARED, or its owner's next store would take the silent
+        exclusive-hit path and skip invalidating the new reader.  Only
+        call after the MODIFIED-owner (c2c) case has been handled, so
+        peers here are E or S and no dirty data can be lost.  Returns
+        True when any peer copy exists (the requester fills SHARED)."""
+        shared = False
+        for owner in self._sharers.get(block, ()):
+            if owner == core_id:
+                continue
+            self.l1s[owner].downgrade(block, SHARED)
+            shared = True
+        return shared
 
     def _invalidate_other_l1s(self, core_id: int, block: int) -> Dict[int, int]:
         """Invalidate every other L1 copy; returns merged dirty data."""
@@ -193,7 +238,7 @@ class CacheHierarchy:
         llc_line = self.llc.lookup(block)
         if llc_line is not None:
             self.stats.add("llc_hits")
-            shared = bool(self._sharers.get(block))
+            shared = self._snoop_downgrade_peers(core_id, block)
             self._fill_l1(core_id, block, dict(llc_line.data),
                           SHARED if shared else EXCLUSIVE, t)
             return LoadResult(value=llc_line.data.get(addr, 0), done=t,
@@ -232,8 +277,22 @@ class CacheHierarchy:
                     existing.data.setdefault(word_addr, word_value)
             l1_line = self.l1s[core_id].lookup(block, touch=False)
             if l1_line is None:
-                self._fill_l1(core_id, block, dict(content), EXCLUSIVE,
-                              done)
+                owner = self._other_modified_owner(core_id, block)
+                if owner is not None:
+                    # A store write-allocated the block (MODIFIED) while
+                    # the fetch was in flight: fill from the peer's data,
+                    # c2c-style, so the caches stay coherent even though
+                    # the load's returned value is the (possibly stale)
+                    # PM content.
+                    peer = self.l1s[owner].lookup(block, touch=False)
+                    data = dict(peer.data)
+                    self.l1s[owner].downgrade(block, SHARED)
+                    self._merge_into_llc(block, data, dirty=True, now=done)
+                    self._fill_l1(core_id, block, data, SHARED, done)
+                else:
+                    shared = self._snoop_downgrade_peers(core_id, block)
+                    self._fill_l1(core_id, block, dict(content),
+                                  SHARED if shared else EXCLUSIVE, done)
             else:
                 for word_addr, word_value in content.items():
                     l1_line.data.setdefault(word_addr, word_value)

@@ -87,6 +87,22 @@ class PersistPath:
         """§8.1 speculative period: n_cores x idle path latency."""
         return self.n_cores * self.traversal
 
+    def capture_state(self) -> dict:
+        return {"bus": self._bus.capture_state(),
+                "last_arrival": list(self._last_arrival),
+                "core_extra": list(self._core_extra),
+                "global_last": self._global_last,
+                "in_flight": list(self._in_flight),
+                "stats": self.stats.capture_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self._bus.restore_state(state["bus"])
+        self._last_arrival = list(state["last_arrival"])
+        self._core_extra = list(state["core_extra"])
+        self._global_last = state["global_last"]
+        self._in_flight = deque(state["in_flight"])
+        self.stats.restore_state(state["stats"])
+
 
 class FlushPath:
     """Regular-path flush traversal (CLWB / LLC writeback to the PMC).
@@ -107,6 +123,14 @@ class FlushPath:
         _start, slot_done = self._bus.reserve(now, self.slot_cycles)
         self.stats.add("messages")
         return slot_done + self.traversal
+
+    def capture_state(self) -> dict:
+        return {"bus": self._bus.capture_state(),
+                "stats": self.stats.capture_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self._bus.restore_state(state["bus"])
+        self.stats.restore_state(state["stats"])
 
 
 class SpecIdCounter:
@@ -133,6 +157,13 @@ class SpecIdCounter:
     @property
     def current(self) -> int:
         return self._next
+
+    def capture_state(self) -> dict:
+        return {"next": self._next, "assigned": self.assigned}
+
+    def restore_state(self, state: dict) -> None:
+        self._next = state["next"]
+        self.assigned = state["assigned"]
 
 
 class PersistMessage:
@@ -176,3 +207,9 @@ class LockNetwork:
         if previous is None or previous == core_id:
             return 0
         return self.handoff_cycles
+
+    def capture_state(self) -> dict:
+        return {"last_owner": list(self._last_owner.items())}
+
+    def restore_state(self, state: dict) -> None:
+        self._last_owner = {lock: core for lock, core in state["last_owner"]}

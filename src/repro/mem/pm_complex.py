@@ -124,3 +124,17 @@ class PMCComplex:
     def write_queue_drained(self, now: int) -> int:
         return max(controller.write_queue_drained(now)
                    for controller in self.controllers)
+
+    # ---------------------------------------------------------- snapshotting
+
+    def capture_state(self) -> dict:
+        return {"controllers": [controller.capture_state()
+                                for controller in self.controllers],
+                "core_order": list(self._core_order.items()),
+                "local_stats": self.local_stats.capture_state()}
+
+    def restore_state(self, state: dict) -> None:
+        for controller, sub in zip(self.controllers, state["controllers"]):
+            controller.restore_state(sub)
+        self._core_order = {core: t for core, t in state["core_order"]}
+        self.local_stats.restore_state(state["local_stats"])

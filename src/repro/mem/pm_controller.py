@@ -54,6 +54,13 @@ class PMCPolicy:
         """Called at persist-path message arrival; persists the store."""
         self.pmc.device.persist_store(msg.addr, msg.value, now)
 
+    def capture_state(self) -> dict:
+        """Policies are stateless by default; stateful ones override."""
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        pass
+
 
 class PMController:
     """Read/write queueing plus policy dispatch for one PM channel."""
@@ -81,6 +88,8 @@ class PMController:
         # Per-core FIFO clamp for persist-path acceptance times.
         self._core_fifo: Dict[int, int] = {}
         self.stats = Counter()
+        # Hook fired once per real (non-coalesced) WPQ admission.
+        self.on_accept = None
 
     #: Trace track for controller-side acceptance events.
     TRACE_TRACK = "pmc"
@@ -103,6 +112,8 @@ class PMController:
         if len(self._wpq_open) > 4096:
             self._wpq_open = {b: e for b, e in self._wpq_open.items()
                               if e[2] > arrival}
+        if self.on_accept is not None:
+            self.on_accept()
         return accept
 
     # ---------------------------------------------------------------- reads
@@ -193,3 +204,27 @@ class PMController:
         """Time at which everything currently in the WPQ has reached the
         device (only needed by explicit drain experiments, not ADR)."""
         return self.write_queue.drain_complete_time(now)
+
+    # ---------------------------------------------------------- snapshotting
+
+    def capture_state(self) -> dict:
+        # _wpq_open/_core_fifo as ordered item lists: insertion order
+        # matters for the >4096 prune and for replay determinism.  The
+        # device is captured by the system (PMCComplex controllers share
+        # one device; capturing it here would multiply it).
+        return {"read_queue": self.read_queue.capture_state(),
+                "write_queue": self.write_queue.capture_state(),
+                "wpq_open": [(block, list(entry))
+                             for block, entry in self._wpq_open.items()],
+                "core_fifo": list(self._core_fifo.items()),
+                "stats": self.stats.capture_state(),
+                "policy": self.policy.capture_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self.read_queue.restore_state(state["read_queue"])
+        self.write_queue.restore_state(state["write_queue"])
+        self._wpq_open = {block: tuple(entry)
+                          for block, entry in state["wpq_open"]}
+        self._core_fifo = {core: t for core, t in state["core_fifo"]}
+        self.stats.restore_state(state["stats"])
+        self.policy.restore_state(state["policy"])

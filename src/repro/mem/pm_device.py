@@ -31,6 +31,11 @@ class PMDevice:
         self.history: List[Tuple[int, int, int, str]] = []
         self.stores_persisted = 0
         self.blocks_persisted = 0
+        # Snapshot-ladder hook: fired once per persist_store/persist_block
+        # call.  The device is the one durability point every design
+        # funnels through (ADR acceptance for the x86 paths, buffer drain
+        # for DPO/HOPS), so it is where persist events are counted.
+        self.on_persist = None
 
     def read(self, addr: int) -> int:
         """Persisted value at ``addr`` (0 if never written)."""
@@ -49,6 +54,8 @@ class PMDevice:
         self.stores_persisted += 1
         if self.record_history:
             self.history.append((now, addr, value, origin))
+        if self.on_persist is not None:
+            self.on_persist()
 
     def persist_block(self, addr: int, data: Dict[int, int], now: int,
                       origin: str = "writeback") -> None:
@@ -63,6 +70,8 @@ class PMDevice:
             if self.record_history:
                 self.history.append((now, byte_addr, value, origin))
         self.blocks_persisted += 1
+        if self.on_persist is not None:
+            self.on_persist()
 
     def snapshot(self) -> Dict[int, int]:
         """Copy of the full persisted image (crash-test capture)."""
@@ -73,3 +82,15 @@ class PMDevice:
 
     def __len__(self) -> int:
         return len(self._image)
+
+    def capture_state(self) -> dict:
+        return {"image": list(self._image.items()),
+                "history": [list(entry) for entry in self.history],
+                "stores_persisted": self.stores_persisted,
+                "blocks_persisted": self.blocks_persisted}
+
+    def restore_state(self, state: dict) -> None:
+        self._image = {addr: value for addr, value in state["image"]}
+        self.history = [tuple(entry) for entry in state["history"]]
+        self.stores_persisted = state["stores_persisted"]
+        self.blocks_persisted = state["blocks_persisted"]

@@ -59,3 +59,14 @@ class InterruptController:
         handler(event, now)
         self.stats.add("relayed_interrupts")
         return True
+
+    def capture_state(self) -> dict:
+        # Handlers and the reverse map are closures over live objects;
+        # they are re-registered when the restored system is rebuilt, so
+        # only the architectural trace is captured.
+        return {"designated_space": list(self.designated_space),
+                "stats": self.stats.capture_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self.designated_space = list(state["designated_space"])
+        self.stats.restore_state(state["stats"])

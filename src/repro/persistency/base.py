@@ -118,6 +118,15 @@ class Design:
         at end-of-run before crash snapshots and validation."""
         return now
 
+    # -------------------------------------------------------- snapshotting
+
+    def capture_state(self) -> dict:
+        """Stats only in the base; stateful designs extend the dict."""
+        return {"stats": self.stats.capture_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self.stats.restore_state(state["stats"])
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} design>"
 

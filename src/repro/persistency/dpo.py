@@ -109,3 +109,14 @@ class DPO(Design):
         for core_id in range(len(self._pending)):
             horizon = max(horizon, self._drained(core_id, now))
         return horizon
+
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["channel"] = self._channel.capture_state()
+        state["pending"] = [list(pending) for pending in self._pending]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._channel.restore_state(state["channel"])
+        self._pending = [deque(pending) for pending in state["pending"]]

@@ -57,6 +57,14 @@ class CountingBloom:
     def query(self, key: int) -> bool:
         return all(self._counters[slot] > 0 for slot in self._slots(key))
 
+    def capture_state(self) -> dict:
+        return {"counters": list(self._counters),
+                "inserts": self.inserts}
+
+    def restore_state(self, state: dict) -> None:
+        self._counters = list(state["counters"])
+        self.inserts = state["inserts"]
+
 
 class HOPSPMCPolicy(DropWritebacksPolicy):
     """Bloom-filter lookup on every PM read (§8.2.2)."""
@@ -76,6 +84,15 @@ class HOPSPMCPolicy(DropWritebacksPolicy):
             self.conflicts += 1
             delay += self.conflict_delay
         return delay
+
+    def capture_state(self) -> dict:
+        # The bloom filter itself is captured by the HOPS design (it is
+        # shared across multi-PMC policies).
+        return {"lookups": self.lookups, "conflicts": self.conflicts}
+
+    def restore_state(self, state: dict) -> None:
+        self.lookups = state["lookups"]
+        self.conflicts = state["conflicts"]
 
 
 class HOPS(Design):
@@ -184,3 +201,23 @@ class HOPS(Design):
         for buffer in self._buffers:
             horizon = max(horizon, buffer.drain_complete_time(now))
         return horizon
+
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["buffers"] = [buffer.capture_state()
+                            for buffer in self._buffers]
+        state["open_blocks"] = [list(blocks.items())
+                                for blocks in self._open_blocks]
+        state["fifo_drain"] = list(self._fifo_drain)
+        state["bloom"] = self.bloom.capture_state()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        for buffer, sub in zip(self._buffers, state["buffers"]):
+            buffer.restore_state(sub)
+        self._open_blocks = [
+            {block: drained for block, drained in blocks}
+            for blocks in state["open_blocks"]]
+        self._fifo_drain = list(state["fifo_drain"])
+        self.bloom.restore_state(state["bloom"])

@@ -49,3 +49,12 @@ class IntelX86Epoch(Design):
 
     def quiesce_time(self, now: int) -> int:
         return max([now] + list(self._clwb_horizon))
+
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["clwb_horizon"] = list(self._clwb_horizon)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._clwb_horizon = list(state["clwb_horizon"])

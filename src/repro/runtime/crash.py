@@ -47,15 +47,27 @@ class CrashOutcome:
 def build_crash_system(workload_cls: Type, design_name: str,
                        n_threads: int, fases_per_thread: int, seed: int,
                        config: Optional[SystemConfig] = None,
-                       log_mode: str = "undo", tracer=None):
+                       log_mode: str = "undo", tracer=None,
+                       prebuilt=None):
     """One build path for every crash-injection entry point: returns the
     ``(workload, system)`` pair ready to run (the validation campaign
     reuses this with a tracer attached, so a measured uninterrupted run
-    and the crashed run are built identically by construction)."""
+    and the crashed run are built identically by construction).
+
+    ``prebuilt`` is an optional ``(workload, program)`` pair from a
+    previous build with the same (workload_cls, n_threads,
+    fases_per_thread, seed): program materialisation dominates build
+    time at large fase counts, and both objects are immutable after
+    ``build()`` (the system copies the initial heap), so callers running
+    many trials of one cell can pregenerate once.
+    """
     from ..persistency import design_by_name
     from ..system import build_system
-    workload = workload_cls(seed=seed)
-    program = workload.build(n_threads, fases_per_thread)
+    if prebuilt is not None:
+        workload, program = prebuilt
+    else:
+        workload = workload_cls(seed=seed)
+        program = workload.build(n_threads, fases_per_thread)
     cfg = config or table3_config(n_cores=n_threads)
     system = build_system(program, design_by_name(design_name), cfg,
                           log_mode=log_mode, tracer=tracer)

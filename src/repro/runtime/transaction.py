@@ -150,3 +150,36 @@ class FailureAtomicRuntime:
     def thread_stats(self) -> Dict[int, Dict[str, int]]:
         return {s.thread_id: {"commits": s.commits, "aborts": s.aborts}
                 for s in self.threads}
+
+    # -------------------------------------------------------- snapshotting
+
+    def capture_state(self) -> dict:
+        return {"threads": [{"in_fase": s.in_fase, "fase_id": s.fase_id,
+                             "misspec_flag": s.misspec_flag,
+                             "commits": s.commits, "aborts": s.aborts,
+                             "undo": s.undo.capture_state()}
+                            for s in self.threads],
+                "stats": self.stats.capture_state(),
+                "commit_log": [list(entry) for entry in self.commit_log],
+                "misspec_events": [
+                    {"kind": e.kind, "block": e.block,
+                     "core_id": e.core_id, "time": e.time,
+                     "spec_id": e.spec_id, "persist_time": e.persist_time}
+                    for e in self.misspec_events]}
+
+    def restore_state(self, state: dict) -> None:
+        for thread, sub in zip(self.threads, state["threads"]):
+            thread.in_fase = sub["in_fase"]
+            thread.fase_id = sub["fase_id"]
+            thread.misspec_flag = sub["misspec_flag"]
+            thread.commits = sub["commits"]
+            thread.aborts = sub["aborts"]
+            thread.undo.restore_state(sub["undo"])
+        self.stats.restore_state(state["stats"])
+        self.commit_log = [tuple(entry) for entry in state["commit_log"]]
+        self.misspec_events = [
+            MisspeculationEvent(kind=e["kind"], block=e["block"],
+                                core_id=e["core_id"], time=e["time"],
+                                spec_id=e["spec_id"],
+                                persist_time=e["persist_time"])
+            for e in state["misspec_events"]]

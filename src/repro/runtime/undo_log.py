@@ -125,6 +125,16 @@ class UndoLog:
         handler's write list."""
         return list(reversed(self._records))
 
+    def capture_state(self) -> dict:
+        return {"records": [list(record) for record in self._records],
+                "appends": self.appends,
+                "truncations": self.truncations}
+
+    def restore_state(self, state: dict) -> None:
+        self._records = [(target, old) for target, old in state["records"]]
+        self.appends = state["appends"]
+        self.truncations = state["truncations"]
+
 
 def recover(image: Dict[int, int], thread_id: int) -> List[Tuple[int, int]]:
     """Apply one thread's undo log against a persisted image, in place.

@@ -272,3 +272,22 @@ class Environment:
                 break
             self.step()
         return self.now
+
+    def capture_state(self) -> dict:
+        """Snapshot the clock.  Only legal at a quiesce point: pending
+        events wrap live generators/callbacks and cannot be serialised,
+        so a non-empty heap is a hard error, not a silent omission."""
+        if self._heap:
+            from ..snapshot.store import SnapshotError
+            raise SnapshotError(
+                f"environment heap not empty at capture "
+                f"({len(self._heap)} pending events)")
+        return {"now": self.now, "sequence": self._sequence}
+
+    def restore_state(self, state: dict) -> None:
+        self.now = state["now"]
+        # The sequence counter only breaks same-time heap ties among
+        # events created *after* this point, so restoring it is about
+        # byte-identical replay, not correctness.
+        self._sequence = state["sequence"]
+        self._heap = []

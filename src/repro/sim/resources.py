@@ -66,6 +66,26 @@ class Mutex:
     def queue_length(self) -> int:
         return len(self._waiters)
 
+    def capture_state(self) -> dict:
+        # A waiter holds a live grant Event; the ladder only captures
+        # when no core is blocked on a lock, so waiters here are a bug.
+        if self._waiters:
+            from ..snapshot.store import SnapshotError
+            raise SnapshotError(
+                f"mutex {self.name!r} has waiters at capture")
+        if self.owner is not None:
+            from ..snapshot.store import SnapshotError
+            raise SnapshotError(
+                f"mutex {self.name!r} held at capture")
+        return {"acquisitions": self.acquisitions,
+                "contended_acquisitions": self.contended_acquisitions}
+
+    def restore_state(self, state: dict) -> None:
+        self.owner = None
+        self._waiters = deque()
+        self.acquisitions = state["acquisitions"]
+        self.contended_acquisitions = state["contended_acquisitions"]
+
 
 class TimelineResource:
     """A unit that serves one request per ``width`` lanes at a time.
@@ -107,6 +127,18 @@ class TimelineResource:
         if now <= 0:
             return 0.0
         return self.total_busy / (now * self.width)
+
+    def capture_state(self) -> dict:
+        return {"lanes": list(self._lanes),
+                "total_busy": self.total_busy,
+                "total_requests": self.total_requests,
+                "total_wait": self.total_wait}
+
+    def restore_state(self, state: dict) -> None:
+        self._lanes = list(state["lanes"])
+        self.total_busy = state["total_busy"]
+        self.total_requests = state["total_requests"]
+        self.total_wait = state["total_wait"]
 
 
 class OccupancyQueue:
@@ -159,6 +191,18 @@ class OccupancyQueue:
         """When every currently in-flight entry has completed."""
         self._evict_completed(now)
         return self._completions[-1] if self._completions else now
+
+    def capture_state(self) -> dict:
+        return {"completions": list(self._completions),
+                "pushes": self.pushes,
+                "stalled_pushes": self.stalled_pushes,
+                "total_stall": self.total_stall}
+
+    def restore_state(self, state: dict) -> None:
+        self._completions = list(state["completions"])
+        self.pushes = state["pushes"]
+        self.stalled_pushes = state["stalled_pushes"]
+        self.total_stall = state["total_stall"]
 
 
 class CapacityQueue:
@@ -226,3 +270,17 @@ class CapacityQueue:
         """Time at which everything currently queued has drained."""
         self._evict_completed(now)
         return self._completions[-1] if self._completions else now
+
+    def capture_state(self) -> dict:
+        return {"drain": self._drain.capture_state(),
+                "completions": list(self._completions),
+                "pushes": self.pushes,
+                "stalled_pushes": self.stalled_pushes,
+                "total_stall": self.total_stall}
+
+    def restore_state(self, state: dict) -> None:
+        self._drain.restore_state(state["drain"])
+        self._completions = deque(state["completions"])
+        self.pushes = state["pushes"]
+        self.stalled_pushes = state["stalled_pushes"]
+        self.total_stall = state["total_stall"]

@@ -29,6 +29,13 @@ class Counter:
         for name, value in other._values.items():
             self._values[name] += value
 
+    def capture_state(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def restore_state(self, state: Dict[str, int]) -> None:
+        self._values = defaultdict(int)
+        self._values.update(state)
+
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
         return f"Counter({inner})"

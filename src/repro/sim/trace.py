@@ -145,6 +145,19 @@ class TraceRecorder(Tracer):
         without the unit conversion ``to_dict`` applies for renderers."""
         return list(self._events)
 
+    def capture_state(self) -> Dict:
+        """The event prefix rides in snapshots (as plain lists) so a
+        restored trial's oracle sees the full history from cycle 0, not
+        just the replayed tail.  It is excluded from fingerprints."""
+        return {"dropped": self.dropped,
+                "events": [list(item) for item in self._events],
+                "tracks": list(self._tracks.items())}
+
+    def restore_state(self, state: Dict) -> None:
+        self.dropped = state["dropped"]
+        self._events = [tuple(item) for item in state["events"]]
+        self._tracks = {name: tid for name, tid in state["tracks"]}
+
     # ------------------------------------------------------------ export
 
     def _us(self, cycles: int) -> float:

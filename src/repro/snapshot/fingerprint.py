@@ -1,0 +1,93 @@
+"""Canonical encoding + stable hashing of captured simulator state.
+
+``pickle`` output is not a sound fingerprint (memo numbering depends on
+object identity and sharing), so fingerprints use a purpose-built
+canonical byte encoding: type-tagged, length-prefixed, with dict items
+emitted in sorted key order.  Two captured states encode identically
+iff they are value-equal -- which is exactly the property the
+restore-then-replay determinism check needs.
+
+Only plain data may appear in a captured state: ``None``, ``bool``,
+``int``, ``float``, ``str``, ``bytes``, and lists/tuples/dicts thereof.
+Anything else is a capture bug and raises immediately (better a loud
+error at capture time than a fingerprint that silently depends on
+``repr`` addresses).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+class FingerprintError(TypeError):
+    """A captured state contained a non-plain-data value."""
+
+
+def _key_order(key: Any):
+    # Dict keys are ints (addresses, blocks, ids) or strings (field
+    # names); sort ints before strings, each kind among itself.
+    if isinstance(key, bool):
+        raise FingerprintError(f"bool dict key {key!r} in captured state")
+    if isinstance(key, int):
+        return (0, key, "")
+    if isinstance(key, str):
+        return (1, 0, key)
+    raise FingerprintError(f"unsupported dict key {key!r} in captured state")
+
+
+def _encode(obj: Any, out: bytearray) -> None:
+    if obj is None:
+        out += b"N"
+    elif obj is True:
+        out += b"T"
+    elif obj is False:
+        out += b"F"
+    elif isinstance(obj, int):
+        body = str(obj).encode()
+        out += b"i" + body + b";"
+    elif isinstance(obj, float):
+        out += b"f" + obj.hex().encode() + b";"
+    elif isinstance(obj, str):
+        body = obj.encode("utf-8")
+        out += b"s" + str(len(body)).encode() + b":" + body
+    elif isinstance(obj, bytes):
+        out += b"b" + str(len(obj)).encode() + b":" + obj
+    elif isinstance(obj, (list, tuple)):
+        # Lists and tuples encode identically: a restored state may
+        # legitimately turn tuples into lists (JSON round trips do).
+        out += b"l" + str(len(obj)).encode() + b":"
+        for item in obj:
+            _encode(item, out)
+    elif isinstance(obj, dict):
+        out += b"d" + str(len(obj)).encode() + b":"
+        for key in sorted(obj, key=_key_order):
+            _encode(key, out)
+            _encode(obj[key], out)
+    else:
+        raise FingerprintError(
+            f"unsupported value {obj!r} ({type(obj).__name__}) "
+            f"in captured state")
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """The canonical byte encoding of a plain-data value."""
+    out = bytearray()
+    _encode(obj, out)
+    return bytes(out)
+
+
+def fingerprint_state(payload: dict) -> str:
+    """Stable sha256 fingerprint of a captured system state.
+
+    Hashes the architectural content: ``cycle`` plus every component
+    state.  Deliberately excluded: the event-heap ``sequence`` counter
+    (restarts benignly on restore), the trace-event prefix and the
+    ladder bookkeeping (observability, not architecture).
+    """
+    digest = hashlib.sha256()
+    digest.update(canonical_bytes({
+        "cycle": payload.get("cycle", 0),
+        "components": payload.get("components", {}),
+    }))
+    return digest.hexdigest()

@@ -1,0 +1,168 @@
+"""Content-addressed on-disk snapshot store.
+
+Layout under the store root::
+
+    objects/<k0k1>/<key>.snap   pickled snapshot payloads, keyed by the
+                                sha256 of their serialised bytes
+    index/<name>.json           rung indexes: which snapshots form the
+                                ladder of one campaign cell / sweep base
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or killed
+run can never leave a torn object behind -- a truncated or otherwise
+unreadable object raises :class:`SnapshotError`, which callers treat as
+"snapshot unavailable, fall back to cold start".  ``max_bytes`` imposes
+an LRU cap: objects are evicted oldest-access-first whenever the store
+grows past it (reads refresh an object's mtime so ladder rungs in
+active use survive).
+
+The store sits beside the PR 1 artifact cache on purpose: artifacts are
+*results* keyed by spec, snapshots are *machine states* keyed by
+content, and their lifetimes differ (snapshots are a pure accelerator
+-- losing one costs time, never correctness).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Dict, List, Optional
+
+INDEX_SCHEMA_VERSION = 1
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot could not be stored, found, or decoded."""
+
+
+class SnapshotStore:
+    """Content-addressed pickle store with atomic writes and an LRU cap."""
+
+    def __init__(self, root: str, max_bytes: Optional[int] = None):
+        self.root = root
+        self.max_bytes = max_bytes
+        self._objects = os.path.join(root, "objects")
+        self._index_dir = os.path.join(root, "index")
+        os.makedirs(self._objects, exist_ok=True)
+        os.makedirs(self._index_dir, exist_ok=True)
+
+    # -------------------------------------------------------------- objects
+
+    def _object_path(self, key: str) -> str:
+        return os.path.join(self._objects, key[:2], key + ".snap")
+
+    def put(self, payload: dict) -> str:
+        """Store a payload; returns its content key (idempotent)."""
+        try:
+            blob = pickle.dumps(payload, protocol=4)
+        except Exception as exc:
+            raise SnapshotError(f"unpicklable snapshot payload: {exc}")
+        key = hashlib.sha256(blob).hexdigest()
+        path = self._object_path(key)
+        if not os.path.exists(path):
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+            self._enforce_cap()
+        return key
+
+    def get(self, key: str) -> dict:
+        """Load a payload by key; raises :class:`SnapshotError` when the
+        object is missing, truncated, or corrupt."""
+        path = self._object_path(key)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError as exc:
+            raise SnapshotError(f"snapshot {key[:12]} unavailable: {exc}")
+        if hashlib.sha256(blob).hexdigest() != key:
+            raise SnapshotError(
+                f"snapshot {key[:12]} corrupt: content hash mismatch")
+        try:
+            payload = pickle.loads(blob)
+        except Exception as exc:
+            raise SnapshotError(f"snapshot {key[:12]} undecodable: {exc}")
+        # LRU refresh: a rung in active use should outlive idle ones.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return payload
+
+    def has(self, key: str) -> bool:
+        return os.path.exists(self._object_path(key))
+
+    def _objects_by_age(self) -> List[str]:
+        paths = []
+        for dirpath, _dirnames, filenames in os.walk(self._objects):
+            for filename in filenames:
+                if filename.endswith(".snap"):
+                    paths.append(os.path.join(dirpath, filename))
+        return sorted(paths, key=lambda p: (os.path.getmtime(p), p))
+
+    def _enforce_cap(self) -> None:
+        if self.max_bytes is None:
+            return
+        paths = self._objects_by_age()
+        total = sum(os.path.getsize(p) for p in paths)
+        while paths and total > self.max_bytes:
+            victim = paths.pop(0)
+            try:
+                total -= os.path.getsize(victim)
+                os.unlink(victim)
+            except OSError:
+                break
+
+    def total_bytes(self) -> int:
+        return sum(os.path.getsize(p) for p in self._objects_by_age())
+
+    # -------------------------------------------------------------- indexes
+
+    def _index_path(self, name: str) -> str:
+        return os.path.join(self._index_dir, name + ".json")
+
+    def save_index(self, name: str, rungs: List[Dict]) -> str:
+        """Atomically write a ladder index: ``[{cycle, key}, ...]``."""
+        path = self._index_path(name)
+        document = {"schema_version": INDEX_SCHEMA_VERSION, "rungs": rungs}
+        fd, tmp = tempfile.mkstemp(dir=self._index_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(document, handle, indent=2)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def load_index(self, name: str) -> List[Dict]:
+        """Load a ladder index; raises :class:`SnapshotError` if absent
+        or unreadable."""
+        path = self._index_path(name)
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise SnapshotError(f"snapshot index {name!r} unavailable: {exc}")
+        if document.get("schema_version") != INDEX_SCHEMA_VERSION:
+            raise SnapshotError(
+                f"snapshot index {name!r} has schema "
+                f"{document.get('schema_version')!r}, "
+                f"expected {INDEX_SCHEMA_VERSION}")
+        return list(document.get("rungs", []))
+
+    def indexes(self) -> List[str]:
+        return sorted(name[:-5] for name in os.listdir(self._index_dir)
+                      if name.endswith(".json"))

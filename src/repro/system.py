@@ -118,12 +118,22 @@ class SimResult:
     def from_dict(cls, payload: Dict) -> "SimResult":
         """Rebuild a result from :meth:`to_dict` output.
 
-        Tolerant in both directions: unknown keys (derived values such
-        as ``seconds``/``throughput``, or fields added by future schema
-        versions) are ignored, and missing fields fall back to their
-        defaults -- version-1 payloads (no ``schema_version``, no
-        ``freq_ghz``) still load.
+        Backwards-tolerant, forwards-strict: older payloads load with
+        defaults for fields their schema lacked (version-1 payloads have
+        no ``schema_version``/``freq_ghz``; version-2 payloads load with
+        ``timeseries=None``), and unknown keys (derived values such as
+        ``seconds``/``throughput``) are ignored.  A payload from a
+        *future* schema version raises :class:`ValueError` -- silently
+        defaulting fields whose semantics this code cannot know would
+        corrupt cached results rather than invalidate them.
         """
+        version = payload.get("schema_version", 1)
+        if version > RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"result payload has schema_version {version}, newer than "
+                f"the supported {RESULT_SCHEMA_VERSION}; refusing to "
+                f"guess at its semantics (upgrade this code or rebuild "
+                f"the artifact)")
         defaults = {
             "design": "?", "workload": "?", "n_cores": 0, "cycles": 0,
             "fases_committed": 0, "fases_aborted": 0,
@@ -233,6 +243,10 @@ class System:
             self.process,
             lambda event, now: self.runtime.on_misspeculation(event, now))
 
+        # Snapshot ladder (repro.snapshot.SnapshotLadder.install sets it);
+        # None means the park/quiesce machinery is completely inert.
+        self.snapshots = None
+
     # ---------------------------------------------------------- misspec
 
     def _report_misspeculation(self, event: MisspeculationEvent) -> None:
@@ -245,15 +259,41 @@ class System:
 
     # --------------------------------------------------------------- run
 
-    def run(self, until: Optional[int] = None) -> SimResult:
-        """Simulate to completion (or to cycle ``until`` -- a crash)."""
+    def park_point(self, core: Core):
+        """Called by a core at its FASE boundary; an Event to wait on when
+        the snapshot ladder wants the machine quiesced, else None."""
+        if self.snapshots is None:
+            return None
+        return self.snapshots.park_event(core)
+
+    def launch(self):
+        """Create every core's DES process; returns the all-done event."""
         processes = [self.env.process(core.run(), name=f"core{core.core_id}")
                      for core in self.cores]
-        all_done = self.env.all_of(processes)
-        self.env.run(until=until, stop_event=all_done)
+        return self.env.all_of(processes)
+
+    def advance(self, until: Optional[int] = None, stop_event=None) -> int:
+        """Drive the simulation, re-entering the event loop whenever the
+        heap drains because cores parked for a snapshot.  Without a
+        ladder this is exactly one ``env.run`` call."""
+        while True:
+            self.env.run(until=until, stop_event=stop_event)
+            if stop_event is not None and stop_event.triggered:
+                return self.env.now
+            if self.env._heap:
+                # Stopped at the ``until`` bound mid-flight (a crash
+                # point); parked cores are legitimate crash state.
+                return self.env.now
+            if self.snapshots is None or not self.snapshots.on_heap_drained():
+                return self.env.now
+
+    def run(self, until: Optional[int] = None) -> SimResult:
+        """Simulate to completion (or to cycle ``until`` -- a crash)."""
+        all_done = self.launch()
+        self.advance(until=until, stop_event=all_done)
         if until is None:
             # Drain in-flight persistence (scheduled device updates).
-            self.env.run()
+            self.advance()
         return self.result()
 
     def result(self) -> SimResult:
@@ -303,6 +343,107 @@ class System:
     def persisted_snapshot(self) -> Dict[int, int]:
         """The PM image that would survive a power failure right now."""
         return self.device.snapshot()
+
+    # ------------------------------------------------------- snapshotting
+
+    def capture_state(self) -> dict:
+        """Capture the complete dynamic machine state as plain data.
+
+        Only legal at a quiesce point (empty event heap; enforced by the
+        environment).  Deliberately captures *no* configuration-derived
+        values -- latencies, capacities, geometries come from rebuilding
+        a system from its spec -- which is what lets a snapshot restore
+        into a variant-latency system for warm-start sweeps.
+        """
+        from .snapshot import SNAPSHOT_SCHEMA_VERSION
+        env_state = self.env.capture_state()
+        components = {
+            "stall": self.stall.capture_state(),
+            "spec_buffers": [buffer.capture_state()
+                             for buffer in self.spec_buffers],
+            "spec_ids": self.spec_ids.capture_state(),
+            "persist_path": self.persist_path.capture_state(),
+            "lock_network": self.lock_network.capture_state(),
+            "locks": [lock.capture_state() for lock in self.locks],
+            "runtime": self.runtime.capture_state(),
+            "design": self.design.capture_state(),
+            "pmc": self.pmc.capture_state(),
+            "device": self.device.capture_state(),
+            "hierarchy": self.hierarchy.capture_state(),
+            "cores": [core.capture_state() for core in self.cores],
+            "interrupts": self.interrupts.capture_state(),
+        }
+        payload = {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "design": self.design.name,
+            "workload": self.program.name,
+            "cycle": env_state["now"],
+            # Outside "components" on purpose: the heap-tie sequence
+            # counter and the trace prefix are not architectural state,
+            # so the fingerprint must not see them.
+            "sequence": env_state["sequence"],
+            "components": components,
+        }
+        if self.snapshots is not None:
+            payload["ladder"] = self.snapshots.capture_state()
+        if self.env.trace.enabled and hasattr(self.env.trace,
+                                              "capture_state"):
+            payload["trace"] = self.env.trace.capture_state()
+        return payload
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore a captured state into this (freshly built, identically
+        or compatibly configured) system."""
+        from .snapshot import SNAPSHOT_SCHEMA_VERSION
+        from .snapshot.store import SnapshotError
+        version = payload.get("schema_version")
+        if version != SNAPSHOT_SCHEMA_VERSION:
+            raise SnapshotError(
+                f"snapshot schema {version!r} does not match "
+                f"{SNAPSHOT_SCHEMA_VERSION}")
+        self.env.restore_state({"now": payload["cycle"],
+                                "sequence": payload["sequence"]})
+        c = payload["components"]
+        self.stall.restore_state(c["stall"])
+        if len(c["spec_buffers"]) != len(self.spec_buffers):
+            raise SnapshotError(
+                f"snapshot has {len(c['spec_buffers'])} speculation "
+                f"buffers, this system has {len(self.spec_buffers)}")
+        for buffer, sub in zip(self.spec_buffers, c["spec_buffers"]):
+            buffer.restore_state(sub)
+        self.spec_ids.restore_state(c["spec_ids"])
+        self.persist_path.restore_state(c["persist_path"])
+        self.lock_network.restore_state(c["lock_network"])
+        if len(c["locks"]) != len(self.locks):
+            raise SnapshotError(
+                f"snapshot has {len(c['locks'])} locks, this system "
+                f"has {len(self.locks)}")
+        for lock, sub in zip(self.locks, c["locks"]):
+            lock.restore_state(sub)
+        self.runtime.restore_state(c["runtime"])
+        self.design.restore_state(c["design"])
+        self.pmc.restore_state(c["pmc"])
+        self.device.restore_state(c["device"])
+        self.hierarchy.restore_state(c["hierarchy"])
+        if len(c["cores"]) != len(self.cores):
+            raise SnapshotError(
+                f"snapshot has {len(c['cores'])} cores, this system "
+                f"has {len(self.cores)}")
+        for core, sub in zip(self.cores, c["cores"]):
+            core.restore_state(sub)
+        self.interrupts.restore_state(c["interrupts"])
+        if self.snapshots is not None and "ladder" in payload:
+            self.snapshots.restore_state(payload["ladder"])
+        if ("trace" in payload and self.env.trace.enabled
+                and hasattr(self.env.trace, "restore_state")):
+            self.env.trace.restore_state(payload["trace"])
+
+    def state_fingerprint(self) -> str:
+        """Stable hash of the architectural state (see
+        :func:`repro.snapshot.fingerprint_state`); equal fingerprints at
+        equal cycles mean restore-then-replay did not diverge."""
+        from .snapshot import fingerprint_state
+        return fingerprint_state(self.capture_state())
 
 
 def build_system(program: Program, design: Design,

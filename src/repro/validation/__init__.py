@@ -8,6 +8,8 @@ from .campaign import (
     profile_cell,
     run_campaign,
     run_trial,
+    snapshot_cell,
+    verify_cell,
 )
 from .faults import (
     DEFAULT_FAULTS,
@@ -61,5 +63,6 @@ __all__ = [
     "WindowExpiryFault", "detection", "fase_span", "fault_by_name",
     "history_from_recorder", "persist", "planner_by_name",
     "profile_cell", "read", "run_campaign", "run_trial",
+    "snapshot_cell", "verify_cell",
     "shrink_crash_cycle", "truncate_history", "writeback",
 ]

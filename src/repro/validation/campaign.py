@@ -17,6 +17,7 @@ failures replayable, and shrinking sound.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import random
 import time
@@ -28,6 +29,8 @@ from ..persistency import design_by_name
 from ..runtime.crash import build_crash_system
 from ..runtime.recovery import run_recovery
 from ..sim.trace import TraceRecorder
+from ..snapshot import (SNAPSHOT_SCHEMA_VERSION, SnapshotError,
+                        SnapshotLadder, SnapshotStore, restore_nearest)
 from ..telemetry import get_logger
 from ..workloads import BENCHMARKS
 from .faults import fault_by_name
@@ -54,6 +57,14 @@ class TrialSpec:
     fases_per_thread: int = 10
     seed: int = 42
     log_mode: str = "undo"
+    # Snapshot ladder: every K persist events, 0 = off.  A non-zero K
+    # changes trial timing (parking is part of the timing universe), so
+    # it participates in the cell identity alongside seed and threads.
+    snapshot_every: int = 0
+    # Where rungs live on disk; None keeps the ladder timing-only (no
+    # capture, no warm restore) -- used when trials must replay a
+    # laddered canonical run without a shared filesystem.
+    snapshot_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.workload not in BENCHMARKS:
@@ -68,6 +79,8 @@ class TrialSpec:
             raise ValueError(str(exc)) from None
         if self.crash_cycle < 0:
             raise ValueError("crash_cycle must be >= 0")
+        if self.snapshot_every < 0:
+            raise ValueError("snapshot_every must be >= 0")
 
     def describe(self) -> str:
         return (f"{self.workload}/{self.design} {self.fault}"
@@ -78,8 +91,42 @@ def _describe_spec(spec: TrialSpec) -> str:
     return spec.describe()
 
 
-def _build(spec: TrialSpec):
-    """Build the traced system for one trial, fault armed."""
+def _cell_index_name(spec: TrialSpec) -> str:
+    """Stable rung-index name for a cell: every spec field except the
+    crash cycle (all trials of a cell restore from the same canonical
+    laddered run) and the store location (moving the store must not
+    orphan its own indexes)."""
+    fields = asdict(spec)
+    fields.pop("crash_cycle")
+    fields.pop("snapshot_dir")
+    fields["snapshot_schema"] = SNAPSHOT_SCHEMA_VERSION
+    blob = json.dumps(fields, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:24]
+
+
+# Program materialisation (workload.build) dominates trial build time at
+# large fase counts, and every trial of a cell builds the identical
+# program.  Memoise the built pair per process: workload and program are
+# immutable after build() (the system copies the initial heap), so trials
+# stay pure functions of their spec.  Keys are one per campaign cell --
+# the cache stays tiny.
+_PROGRAM_CACHE: Dict[Tuple[str, int, int, int], Tuple[object, object]] = {}
+
+
+def _built_program(spec: TrialSpec) -> Tuple[object, object]:
+    key = (spec.workload, spec.n_threads, spec.fases_per_thread, spec.seed)
+    if key not in _PROGRAM_CACHE:
+        workload = BENCHMARKS[spec.workload](seed=spec.seed)
+        program = workload.build(spec.n_threads, spec.fases_per_thread)
+        _PROGRAM_CACHE[key] = (workload, program)
+    return _PROGRAM_CACHE[key]
+
+
+def _build(spec: TrialSpec, capture: bool = False):
+    """Build the traced system for one trial, fault armed.  With a
+    non-zero ``snapshot_every`` a ladder is installed: capturing for the
+    canonical profile run, replay-only (identical parking, no capture)
+    for trials."""
     fault = fault_by_name(spec.fault)
     recorder = TraceRecorder()
     config = table3_config(n_cores=spec.n_threads,
@@ -87,9 +134,16 @@ def _build(spec: TrialSpec):
     workload, system = build_crash_system(
         BENCHMARKS[spec.workload], spec.design, spec.n_threads,
         spec.fases_per_thread, spec.seed, config, log_mode=spec.log_mode,
-        tracer=recorder)
+        tracer=recorder, prebuilt=_built_program(spec))
+    ladder = None
+    if spec.snapshot_every:
+        store = (SnapshotStore(spec.snapshot_dir)
+                 if spec.snapshot_dir else None)
+        ladder = SnapshotLadder(
+            system, spec.snapshot_every, store=store,
+            index_name=_cell_index_name(spec), capture=capture).install()
     fault.arm(system)
-    return workload, system, fault, recorder
+    return workload, system, fault, recorder, ladder
 
 
 def _oracle_for(system) -> PersistOrderOracle:
@@ -116,22 +170,32 @@ def run_trial(spec: TrialSpec) -> Dict:
     Module-level (not a closure) so :meth:`ParallelExecutor.map` can
     ship it to pool workers.
     """
-    workload, system, fault, recorder = _build(spec)
+    workload, system, fault, recorder, ladder = _build(spec)
     env = system.env
-    processes = [env.process(core.run(), name=f"core{core.core_id}")
-                 for core in system.cores]
-    all_done = env.all_of(processes)
-    env.run(until=spec.crash_cycle, stop_event=all_done)
+    restored_from = None
+    if ladder is not None and ladder.store is not None:
+        try:
+            rung = restore_nearest(system, ladder.store,
+                                   ladder.index_name, spec.crash_cycle)
+        except SnapshotError as exc:
+            # A corrupt or missing store degrades to a cold start: the
+            # trial's outcome must not depend on cache health.
+            log.warning("snapshot restore failed (%s); starting cold", exc)
+            rung = None
+        if rung is not None:
+            restored_from = rung["cycle"]
+    all_done = system.launch()
+    system.advance(until=spec.crash_cycle, stop_event=all_done)
     if env.now < spec.crash_cycle:
         # Cores finished early: power stays on, so the persistence
         # drain proceeds until the planned cut.
-        env.run(until=spec.crash_cycle)
+        system.advance(until=spec.crash_cycle)
     fault.at_crash(system, spec.crash_cycle)
     if fault.run_to_completion:
         # Virtual failures leave the machine on: the runtime's
         # abort/retry recovery must carry the run to a clean finish.
-        env.run(stop_event=all_done)
-        env.run()
+        system.advance(stop_event=all_done)
+        system.advance()
     horizon = env.now
     commits = system.runtime.total_commits
 
@@ -157,14 +221,20 @@ def run_trial(spec: TrialSpec) -> Dict:
         "fault_notes": fault_notes,
         "violations": violations,
         "consistent": not violations,
+        "restored_from_cycle": restored_from,
     }
 
 
 def profile_cell(spec: TrialSpec) -> RunProfile:
     """Profile the uninterrupted run of one cell (fault still armed, so
-    crash points land inside the *perturbed* run's duration)."""
-    _workload, system, _fault, recorder = _build(spec)
+    crash points land inside the *perturbed* run's duration).  With a
+    snapshot store configured this is also the canonical run that fills
+    the cell's rung ladder."""
+    _workload, system, _fault, recorder, ladder = _build(
+        spec, capture=spec.snapshot_dir is not None)
     result = system.run()
+    if ladder is not None:
+        ladder.flush_index()
     history = history_from_recorder(recorder)
     return RunProfile(
         total_cycles=result.cycles,
@@ -176,6 +246,49 @@ def profile_cell(spec: TrialSpec) -> RunProfile:
         persist_cycles=sorted({event.cycle for event in history
                                if event.kind in (PERSIST, WRITEBACK)}),
     )
+
+
+def snapshot_cell(spec: TrialSpec) -> List[Dict]:
+    """Run one cell's canonical laddered run, filling its on-disk rung
+    ladder, and return the stored rung index entries."""
+    if not (spec.snapshot_every and spec.snapshot_dir):
+        raise ValueError("snapshot capture needs snapshot_every > 0 "
+                         "and a snapshot_dir")
+    profile_cell(spec)
+    store = SnapshotStore(spec.snapshot_dir)
+    return store.load_index(_cell_index_name(spec))
+
+
+def verify_cell(spec: TrialSpec) -> Dict:
+    """The standing determinism check for one cell's stored ladder.
+
+    Runs the cell cold (laddered, no capture) to get the reference
+    end-of-run fingerprint, then restores *every* stored rung into a
+    fresh system and replays the tail; each replay must land on the
+    reference fingerprint exactly.  Returns ``{"reference", "checks",
+    "ok"}`` with one check dict per rung.
+    """
+    if not (spec.snapshot_every and spec.snapshot_dir):
+        raise ValueError("snapshot verify needs snapshot_every > 0 "
+                         "and a snapshot_dir")
+    store = SnapshotStore(spec.snapshot_dir)
+    index = store.load_index(_cell_index_name(spec))
+    _workload, system, _fault, _recorder, _ladder = _build(spec)
+    system.run()
+    reference = system.state_fingerprint()
+    checks = []
+    for rung in index:
+        _workload, system, _fault, _recorder, _ladder = _build(spec)
+        system.restore_state(store.get(rung["key"]))
+        done = system.launch()
+        system.advance(stop_event=done)
+        system.advance()
+        checks.append({"rung": rung["rung"], "cycle": rung["cycle"],
+                       "fingerprint_ok":
+                           system.state_fingerprint() == reference})
+    return {"reference": reference, "checks": checks,
+            "ok": bool(checks) and all(c["fingerprint_ok"]
+                                       for c in checks)}
 
 
 # --------------------------------------------------------------- report
@@ -269,14 +382,28 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
                  n_threads: int = 2, fases_per_thread: int = 10,
                  log_mode: str = "undo", shrink: bool = True,
                  executor=None,
-                 progress: Optional[Callable[[str], None]] = None
-                 ) -> CampaignReport:
+                 progress: Optional[Callable[[str], None]] = None,
+                 snapshot_dir: Optional[str] = None,
+                 snapshot_every: int = 0,
+                 snapshot_rungs: int = 0) -> CampaignReport:
     """Run a full campaign over the ``workloads x designs`` grid.
 
     ``budget`` is the trial budget *per cell*.  ``executor`` is a
     :class:`repro.harness.ParallelExecutor` (or anything with its
     ``map``); ``None`` runs serially -- the package never constructs a
     harness object itself, so the dependency points one way only.
+
+    With ``snapshot_every > 0`` and a ``snapshot_dir``, the profiling
+    pass doubles as the canonical laddered run per cell, and each trial
+    restores the nearest rung at or before its crash cycle instead of
+    simulating from cycle 0 -- O(segment) per trial instead of O(run).
+
+    ``snapshot_rungs > 0`` sizes the ladder per cell instead: each cell
+    gets ``snapshot_every = persists // snapshot_rungs`` from a quick
+    unladdered probe, so persist-dense and persist-sparse cells both
+    land ~``snapshot_rungs`` rungs (a grid-wide interval gives one cell
+    tails too long to matter and another a capture bill too high to
+    amortise).  Overrides ``snapshot_every``.
     """
     started = time.perf_counter()
     planner_obj = planner_by_name(planner)
@@ -288,11 +415,24 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
         if progress is not None:
             progress(message)
 
+    cell_every: Dict[Tuple[str, str], int] = {}
+
     def base_spec(workload: str, design: str) -> TrialSpec:
+        every = cell_every.get((workload, design), snapshot_every)
         return TrialSpec(workload=workload, design=design, fault=fault,
                          crash_cycle=0, n_threads=n_threads,
                          fases_per_thread=fases_per_thread, seed=seed,
-                         log_mode=log_mode)
+                         log_mode=log_mode, snapshot_every=every,
+                         snapshot_dir=snapshot_dir)
+
+    if snapshot_rungs:
+        say(f"sizing ladders: ~{snapshot_rungs} rungs per cell")
+        for workload, design in cells:
+            probe = profile_cell(replace(base_spec(workload, design),
+                                         snapshot_every=0,
+                                         snapshot_dir=None))
+            cell_every[(workload, design)] = max(
+                1, len(probe.persist_cycles) // snapshot_rungs)
 
     def fan_out(specs: List[TrialSpec]) -> List[Dict]:
         if executor is not None and specs:
@@ -350,6 +490,9 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
             "fault": fault,
             "total_cycles": profiles[cell].total_cycles,
             "trials": len(results[cell]),
+            "restored_trials": sum(
+                1 for outcome in results[cell]
+                if outcome.get("restored_from_cycle") is not None),
             "failures": cell_failures,
             "violation_kinds": sorted({
                 violation["kind"] for failure in cell_failures
@@ -363,7 +506,12 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
             "planner": planner, "fault": fault, "budget": budget,
             "seed": seed, "n_threads": n_threads,
             "fases_per_thread": fases_per_thread, "log_mode": log_mode,
-            "shrink": shrink,
+            "shrink": shrink, "snapshot_every": snapshot_every,
+            "snapshot_rungs": snapshot_rungs,
+            "cell_snapshot_every": {
+                f"{workload}/{design}": every
+                for (workload, design), every in sorted(cell_every.items())},
+            "snapshot_dir": snapshot_dir,
         },
         cells=cell_reports,
         elapsed_s=time.perf_counter() - started,

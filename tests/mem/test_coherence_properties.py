@@ -76,6 +76,25 @@ def run_sequence(ops, tiny):
     return mismatches, hierarchy
 
 
+class TestExclusiveDowngradeRegression:
+    def test_read_snoop_downgrades_clean_exclusive_peer(self):
+        """Minimal Hypothesis counterexample (PR 3 era): core 0 holds a
+        block EXCLUSIVE, core 1's LLC-hit load must downgrade it to
+        SHARED -- otherwise core 0's next store takes the silent
+        exclusive-hit path and core 1 keeps reading the stale copy."""
+        ops = [
+            ("load", 0, 0, 0, 1),   # core 0 fills L1[0] EXCLUSIVE via PM
+            ("load", 1, 0, 0, 1),   # core 1 LLC hit: must snoop-downgrade
+            ("store", 0, 0, 0, 7),  # would silently hit if still E
+            ("load", 1, 0, 0, 1),   # must see 7, not the stale 0
+        ]
+        mismatches, hierarchy = run_sequence(ops, tiny=False)
+        assert mismatches == []
+        # Both copies coherent and non-exclusive after the sharing load.
+        line0 = hierarchy.l1s[0].lookup(BASE >> 6, touch=False)
+        assert line0 is not None and line0.data[BASE] == 7
+
+
 class TestCoherenceAgainstReference:
     @settings(max_examples=40, deadline=None)
     @given(ops_strategy)

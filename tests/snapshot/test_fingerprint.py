@@ -1,0 +1,73 @@
+"""Canonical-encoding unit tests: the fingerprint must be a pure
+function of *state*, not of dict insertion order or container flavor."""
+
+import pytest
+
+from repro.snapshot import canonical_bytes, fingerprint_state
+from repro.snapshot.fingerprint import FingerprintError
+
+
+class TestCanonicalBytes:
+    def test_dict_order_irrelevant(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == \
+            canonical_bytes({"b": 2, "a": 1})
+
+    def test_int_keys_sorted(self):
+        assert canonical_bytes({2: "x", 10: "y"}) == \
+            canonical_bytes({10: "y", 2: "x"})
+
+    def test_list_and_tuple_equivalent(self):
+        assert canonical_bytes([1, 2, 3]) == canonical_bytes((1, 2, 3))
+
+    def test_scalars_distinguished(self):
+        blobs = {canonical_bytes(v) for v in
+                 (None, True, False, 0, 1, "", "0", 0.0)}
+        assert len(blobs) == 8
+
+    def test_int_float_distinguished(self):
+        # 1 and 1.0 compare equal in Python but are different state.
+        assert canonical_bytes(1) != canonical_bytes(1.0)
+
+    def test_string_prefix_unambiguous(self):
+        # Length prefixes prevent ["ab","c"] == ["a","bc"] collisions.
+        assert canonical_bytes(["ab", "c"]) != canonical_bytes(["a", "bc"])
+
+    def test_nested_containers(self):
+        a = {"outer": [{"k": (1, 2)}, {"k": (3,)}]}
+        b = {"outer": [{"k": [1, 2]}, {"k": [3]}]}
+        assert canonical_bytes(a) == canonical_bytes(b)
+
+    def test_float_precision_exact(self):
+        assert canonical_bytes(0.1 + 0.2) != canonical_bytes(0.3)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(FingerprintError):
+            canonical_bytes(object())
+
+    def test_set_rejected(self):
+        # Sets have no canonical order; capture code must emit lists.
+        with pytest.raises(FingerprintError):
+            canonical_bytes({1, 2})
+
+
+class TestFingerprintState:
+    def test_covers_cycle_and_components_only(self):
+        base = {"cycle": 5, "components": {"a": 1}, "ladder": {"x": 1}}
+        without_extras = {"cycle": 5, "components": {"a": 1}}
+        assert fingerprint_state(base) == fingerprint_state(without_extras)
+
+    def test_cycle_matters(self):
+        a = {"cycle": 5, "components": {}}
+        b = {"cycle": 6, "components": {}}
+        assert fingerprint_state(a) != fingerprint_state(b)
+
+    def test_component_state_matters(self):
+        a = {"cycle": 5, "components": {"core": {"cursor": 1}}}
+        b = {"cycle": 5, "components": {"core": {"cursor": 2}}}
+        assert fingerprint_state(a) != fingerprint_state(b)
+
+    def test_stable_hex_digest(self):
+        digest = fingerprint_state({"cycle": 0, "components": {}})
+        assert isinstance(digest, str)
+        assert len(digest) == 64
+        int(digest, 16)  # valid hex

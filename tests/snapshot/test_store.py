@@ -1,0 +1,115 @@
+"""SnapshotStore: content addressing, atomicity, corruption, LRU cap."""
+
+import os
+import time
+
+import pytest
+
+from repro.snapshot import SnapshotError, SnapshotStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SnapshotStore(str(tmp_path / "snaps"))
+
+
+class TestContentAddressing:
+    def test_round_trip(self, store):
+        payload = {"cycle": 42, "components": {"core": [1, 2, 3]}}
+        key = store.put(payload)
+        assert store.get(key) == payload
+
+    def test_same_content_same_key(self, store):
+        assert store.put({"a": 1}) == store.put({"a": 1})
+
+    def test_different_content_different_key(self, store):
+        assert store.put({"a": 1}) != store.put({"a": 2})
+
+    def test_has(self, store):
+        key = store.put({"x": 1})
+        assert store.has(key)
+        assert not store.has("0" * 64)
+
+    def test_missing_key_raises(self, store):
+        with pytest.raises(SnapshotError, match="unavailable"):
+            store.get("f" * 64)
+
+
+class TestCorruption:
+    def test_truncated_object_raises_clean_error(self, store):
+        key = store.put({"cycle": 1, "big": list(range(1000))})
+        path = store._object_path(key)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        with pytest.raises(SnapshotError, match="corrupt"):
+            store.get(key)
+
+    def test_bitflip_detected(self, store):
+        key = store.put({"cycle": 7})
+        path = store._object_path(key)
+        with open(path, "r+b") as handle:
+            handle.seek(3)
+            byte = handle.read(1)
+            handle.seek(3)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(SnapshotError, match="corrupt"):
+            store.get(key)
+
+    def test_no_temp_litter_after_put(self, store):
+        store.put({"cycle": 1})
+        leftovers = [name for _dir, _sub, names in os.walk(store.root)
+                     for name in names if name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_unpicklable_payload_raises(self, store):
+        with pytest.raises(SnapshotError, match="unpicklable"):
+            store.put({"fn": lambda: None})
+
+
+class TestLRUCap:
+    def test_cap_evicts_oldest(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        first = store.put({"n": 1, "pad": list(range(100))})
+        # Cap fits one object but not two; age the first so mtime
+        # ordering is unambiguous even on coarse filesystems.
+        store.max_bytes = store.total_bytes() + 10
+        os.utime(store._object_path(first),
+                 (time.time() - 10, time.time() - 10))
+        second = store.put({"n": 2, "pad": list(range(100))})
+        assert not store.has(first)
+        assert store.has(second)
+
+    def test_no_cap_keeps_everything(self, store):
+        keys = [store.put({"n": n, "pad": list(range(50))})
+                for n in range(5)]
+        assert all(store.has(key) for key in keys)
+        assert store.total_bytes() > 0
+
+
+class TestIndexes:
+    def test_round_trip(self, store):
+        rungs = [{"cycle": 10, "rung": 0, "key": "a" * 64,
+                  "fingerprint": "b" * 64}]
+        store.save_index("cell1", rungs)
+        assert store.load_index("cell1") == rungs
+        assert store.indexes() == ["cell1"]
+
+    def test_missing_index_raises(self, store):
+        with pytest.raises(SnapshotError, match="unavailable"):
+            store.load_index("nope")
+
+    def test_wrong_schema_raises(self, store, tmp_path):
+        store.save_index("cell", [])
+        path = store._index_path("cell")
+        with open(path, "w") as handle:
+            handle.write('{"schema_version": 999, "rungs": []}')
+        with pytest.raises(SnapshotError, match="schema"):
+            store.load_index("cell")
+
+    def test_garbage_index_raises(self, store):
+        with open(store._index_path("bad"), "w") as handle:
+            handle.write("not json {")
+        with pytest.raises(SnapshotError, match="unavailable"):
+            store.load_index("bad")

@@ -1,0 +1,79 @@
+"""Warm-start sweep forks: identity forks reproduce the base exactly,
+timing variants run their own tails, structural changes are refused."""
+
+import pytest
+
+from repro.harness import RunSpec, fork_warm_starts, structural_mismatches
+from repro.harness.configs import default_config
+from repro.snapshot import SnapshotError
+
+
+def base_spec(**overrides):
+    kwargs = dict(benchmark="queue", design="PMEM-Spec", n_threads=2,
+                  fases_per_thread=5, seed=7)
+    kwargs.update(overrides)
+    return RunSpec(**kwargs)
+
+
+class TestForkWarmStarts:
+    def test_identity_fork_equals_base(self):
+        base = base_spec()
+        base_result, [forked] = fork_warm_starts(
+            base, [base_spec()], snapshot_every=5)
+        assert forked.cycles == base_result.cycles
+        assert forked.stats["warm_fork"]["rung"] == 0
+
+    def test_latency_variants_diverge_monotonically(self):
+        variants = [base_spec(config_overrides={"persist_path_ns": ns})
+                    for ns in (10.0, 40.0)]
+        _base, [fast, slow] = fork_warm_starts(
+            base_spec(), variants, snapshot_every=5)
+        assert fast.cycles < slow.cycles
+
+    def test_last_rung_fork(self):
+        base_result, [forked] = fork_warm_starts(
+            base_spec(), [base_spec()], snapshot_every=5, rung_index=-1)
+        assert forked.cycles == base_result.cycles
+
+    def test_structural_change_refused(self):
+        bad = base_spec(config_overrides={"spec_buffer_entries": 8})
+        with pytest.raises(SnapshotError, match="structural"):
+            fork_warm_starts(base_spec(), [bad], snapshot_every=5)
+
+    def test_program_identity_change_refused(self):
+        other = base_spec(seed=8)
+        with pytest.raises(SnapshotError, match="seed"):
+            fork_warm_starts(base_spec(), [other], snapshot_every=5)
+
+    def test_design_change_refused(self):
+        other = base_spec(design="HOPS")
+        with pytest.raises(SnapshotError, match="design"):
+            fork_warm_starts(base_spec(), [other], snapshot_every=5)
+
+    def test_interval_longer_than_run_raises(self):
+        with pytest.raises(SnapshotError, match="no rungs"):
+            fork_warm_starts(base_spec(), [base_spec()],
+                             snapshot_every=10_000_000)
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ValueError):
+            fork_warm_starts(base_spec(), [base_spec()], snapshot_every=0)
+
+
+class TestStructuralMismatches:
+    def test_identical_configs_clean(self):
+        config = default_config(n_cores=2)
+        assert structural_mismatches(config, config) == []
+
+    def test_timing_change_is_not_structural(self):
+        base = default_config(n_cores=2)
+        variant = base.with_overrides(persist_path_ns=99.0,
+                                      pm_write_ns=50.0)
+        assert structural_mismatches(base, variant) == []
+
+    def test_capacity_change_is_structural(self):
+        base = default_config(n_cores=2)
+        variant = base.with_overrides(pmc_write_queue=128,
+                                      spec_buffer_entries=16)
+        assert sorted(structural_mismatches(base, variant)) == \
+            ["pmc_write_queue", "spec_buffer_entries"]

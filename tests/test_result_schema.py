@@ -74,3 +74,37 @@ class TestSchemaV2Compat:
         result = make_result()
         result.stats["executor"] = {"elapsed_s": 1.23}
         assert "executor" not in result.to_dict()["stats"]
+
+
+class TestForwardVersions:
+    """Payloads from a *future* schema must be refused, not guessed at."""
+
+    def test_next_version_raises(self):
+        payload = make_result().to_dict()
+        payload["schema_version"] = RESULT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            SimResult.from_dict(payload)
+
+    def test_error_names_both_versions(self):
+        payload = make_result().to_dict()
+        payload["schema_version"] = RESULT_SCHEMA_VERSION + 5
+        with pytest.raises(ValueError) as excinfo:
+            SimResult.from_dict(payload)
+        message = str(excinfo.value)
+        assert str(RESULT_SCHEMA_VERSION + 5) in message
+        assert str(RESULT_SCHEMA_VERSION) in message
+
+    def test_every_supported_version_loads(self):
+        # v1: bare payload, no schema_version/freq_ghz/timeseries keys.
+        v1 = {"design": "DPO", "workload": "tatp", "n_cores": 2,
+              "cycles": 7, "fases_committed": 3, "fases_aborted": 1}
+        # v2: versioned but predates timeseries.
+        v2 = make_result().to_dict()
+        del v2["timeseries"]
+        v2["schema_version"] = 2
+        # v3: current.
+        v3 = make_result().to_dict()
+        for payload in (v1, v2, v3):
+            restored = SimResult.from_dict(payload)
+            assert restored.to_dict()["schema_version"] == \
+                RESULT_SCHEMA_VERSION
