@@ -1,0 +1,42 @@
+# Developer conveniences; everything here is also runnable by hand.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+# One representative engine-bound cell for profiling runs.
+PROFILE_BENCH ?= tpcc
+PROFILE_DESIGN ?= PMEM-Spec
+PROFILE_SNIPPET = import cProfile, pstats; \
+	from repro.harness.sweep import RunSpec, build_spec_system; \
+	system = build_spec_system(RunSpec(benchmark='$(PROFILE_BENCH)', \
+	    design='$(PROFILE_DESIGN)', n_threads=8, fases_per_thread=60, \
+	    seed=42)); \
+	cProfile.run('system.run()', '/tmp/engine.pstats'); \
+	stats = pstats.Stats('/tmp/engine.pstats'); \
+	stats.sort_stats('cumulative').print_stats(30)
+
+.PHONY: test bench-engine bench-engine-check profile-engine flame
+
+test:
+	$(PYTHON) -m pytest -q
+
+bench-engine:
+	$(PYTHON) benchmarks/bench_engine.py
+
+bench-engine-check:
+	$(PYTHON) benchmarks/bench_engine.py --check BENCH_engine.json
+
+# cProfile (always available): cumulative-time top 30 of one cell.
+profile-engine:
+	$(PYTHON) -c "$(PROFILE_SNIPPET)"
+
+# py-spy flame graph (optional dependency; degrades with a hint).
+flame:
+	@command -v py-spy >/dev/null 2>&1 || \
+	    { echo "py-spy not installed; use 'make profile-engine' (cProfile)"; exit 1; }
+	py-spy record -o /tmp/engine-flame.svg -- \
+	    $(PYTHON) -c "from repro.harness.sweep import RunSpec, build_spec_system; \
+	        build_spec_system(RunSpec(benchmark='$(PROFILE_BENCH)', \
+	            design='$(PROFILE_DESIGN)', n_threads=8, \
+	            fases_per_thread=60, seed=42)).run()"
+	@echo "flame graph written to /tmp/engine-flame.svg"

@@ -1,0 +1,163 @@
+"""Engine-loop throughput on the Figure 9 sweep grid.
+
+Times **only** ``System.run()`` (build and lowering excluded) across
+the reduced fig9 matrix -- every benchmark x every design, 8 threads,
+scale 0.25, seed 42 -- for both event-queue implementations
+(:class:`repro.sim.HeapScheduler` and the default
+:class:`repro.sim.CalendarScheduler`).  Each scheduler gets a *cold*
+pass (first in-process traversal of the grid) and a *warm* pass
+(second traversal: allocator, bytecode and branch caches hot), which
+is what a long parameter sweep actually sees.
+
+Correctness is asserted, not assumed: every cell's ``SimResult`` dict
+and post-run ``state_fingerprint()`` must be identical across the two
+schedulers and across the cold/warm passes; any divergence fails the
+bench.
+
+``LEGACY_BASELINE`` pins the pre-overhaul number (single-heap
+push/pop-per-Event scheduler, no fast callback path, unindexed PM
+device) measured with this exact grid and methodology; the reported
+``speedup_vs_legacy`` is the PR's headline figure and must stay >= 5x.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+
+CI regression gate (compares against the committed JSON, fails the
+process if the default scheduler's cold throughput drops >20%)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --check BENCH_engine.json
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro.harness.configs import BENCHMARK_ORDER, DESIGNS
+from repro.harness.sweep import RunSpec, build_spec_system
+from repro.sim import DEFAULT_SCHEDULER, SCHEDULERS
+from repro.workloads import BENCHMARKS
+
+SCALE = float(os.environ.get("REPRO_BENCH_ENGINE_SCALE", "0.25"))
+N_THREADS = 8
+SEED = 42
+MIN_SPEEDUP = 5.0          # the PR's perf bar, vs LEGACY_BASELINE
+REGRESSION_TOLERANCE = 0.20
+
+#: Pre-overhaul engine on this same grid/methodology (heap scheduler,
+#: Event allocated per hop, O(image) PM block scans).  Frozen so the
+#: speedup is measured against the design being replaced, not against
+#: whatever the previous CI run happened to score.
+LEGACY_BASELINE = {
+    "cycles_per_sec": 36718.8,
+    "total_wall_s": 39.636,
+    "engine": "heap push/pop per Event, unindexed PMDevice",
+}
+
+
+def _grid():
+    for benchmark in BENCHMARK_ORDER:
+        fases = max(5, round(BENCHMARKS[benchmark].default_fases * SCALE))
+        for design in DESIGNS:
+            yield RunSpec(benchmark=benchmark, design=design,
+                          n_threads=N_THREADS, fases_per_thread=fases,
+                          seed=SEED)
+
+
+def _run_grid(scheduler: str):
+    """One traversal; returns (cycles, wall_s, per-cell outcomes)."""
+    outcomes = {}
+    total_cycles = 0
+    total_wall = 0.0
+    for spec in _grid():
+        system = build_spec_system(spec, scheduler=scheduler)
+        started = time.perf_counter()
+        result = system.run()
+        total_wall += time.perf_counter() - started
+        total_cycles += result.cycles
+        outcomes[(spec.benchmark, spec.design)] = (
+            result.to_dict(), system.state_fingerprint())
+    return total_cycles, total_wall, outcomes
+
+
+def run_engine_bench() -> dict:
+    passes = {}
+    reference = None
+    identical = True
+    for scheduler in sorted(SCHEDULERS):
+        for temperature in ("cold", "warm"):
+            cycles, wall, outcomes = _run_grid(scheduler)
+            passes[(scheduler, temperature)] = (cycles, wall)
+            if reference is None:
+                reference = outcomes
+            elif outcomes != reference:
+                identical = False
+    default_cold = passes[(DEFAULT_SCHEDULER, "cold")]
+    schedulers = {
+        scheduler: {
+            "cold_cycles_per_sec": round(
+                passes[(scheduler, "cold")][0]
+                / passes[(scheduler, "cold")][1], 1),
+            "warm_cycles_per_sec": round(
+                passes[(scheduler, "warm")][0]
+                / passes[(scheduler, "warm")][1], 1),
+            "cold_wall_s": round(passes[(scheduler, "cold")][1], 3),
+            "warm_wall_s": round(passes[(scheduler, "warm")][1], 3),
+        }
+        for scheduler in sorted(SCHEDULERS)
+    }
+    cycles_per_sec = round(default_cold[0] / default_cold[1], 1)
+    return {
+        "bench": "engine_loop_throughput",
+        "params": {"benchmarks": list(BENCHMARK_ORDER),
+                   "designs": list(DESIGNS), "scale": SCALE,
+                   "n_threads": N_THREADS, "seed": SEED,
+                   "cells": len(BENCHMARK_ORDER) * len(DESIGNS),
+                   "timed": "System.run() only (build excluded)"},
+        "default_scheduler": DEFAULT_SCHEDULER,
+        "total_cycles": default_cold[0],
+        "cycles_per_sec": cycles_per_sec,
+        "schedulers": schedulers,
+        "legacy_baseline": LEGACY_BASELINE,
+        "speedup_vs_legacy": round(
+            cycles_per_sec / LEGACY_BASELINE["cycles_per_sec"], 2),
+        "results_identical_across_schedulers": identical,
+    }
+
+
+def main(argv) -> int:
+    payload = run_engine_bench()
+    failures = []
+    if not payload["results_identical_across_schedulers"]:
+        failures.append("scheduler A/B results diverged")
+    if payload["speedup_vs_legacy"] < MIN_SPEEDUP:
+        failures.append(
+            f"speedup {payload['speedup_vs_legacy']}x < {MIN_SPEEDUP}x bar")
+    if "--check" in argv:
+        committed_path = argv[argv.index("--check") + 1]
+        with open(committed_path) as handle:
+            committed = json.load(handle)["cycles_per_sec"]
+        floor = committed * (1.0 - REGRESSION_TOLERANCE)
+        payload["regression_check"] = {
+            "committed_cycles_per_sec": committed,
+            "floor": round(floor, 1),
+            "ok": payload["cycles_per_sec"] >= floor,
+        }
+        if payload["cycles_per_sec"] < floor:
+            failures.append(
+                f"throughput {payload['cycles_per_sec']} below "
+                f"{floor:.0f} (committed {committed} - "
+                f"{REGRESSION_TOLERANCE:.0%})")
+    else:
+        with open("BENCH_engine.json", "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    status = "ok" if not failures else "; ".join(failures)
+    print(f"engine bench: {payload['cycles_per_sec']} cycles/sec "  # noqa: T201
+          f"({payload['speedup_vs_legacy']}x vs legacy engine) [{status}]")
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -32,31 +32,31 @@ class StallController:
     """Global all-core pause used on speculation-buffer overflow."""
 
     def __init__(self) -> None:
-        self._resume_at = 0
+        self.resume_at = 0
         self.stalls = 0
         self.total_stall_cycles = 0
 
     def stall_all_until(self, now: int, resume_at: int) -> None:
-        if resume_at > self._resume_at:
+        if resume_at > self.resume_at:
             self.stalls += 1
-            self.total_stall_cycles += resume_at - max(now, self._resume_at)
-            self._resume_at = resume_at
+            self.total_stall_cycles += resume_at - max(now, self.resume_at)
+            self.resume_at = resume_at
 
     def release_time(self, now: int) -> int:
         """Earliest time a core may proceed (== now when not stalled)."""
-        return max(now, self._resume_at)
+        return max(now, self.resume_at)
 
     @property
     def stalled(self) -> bool:
-        return self._resume_at > 0
+        return self.resume_at > 0
 
     def capture_state(self) -> dict:
-        return {"resume_at": self._resume_at,
+        return {"resume_at": self.resume_at,
                 "stalls": self.stalls,
                 "total_stall_cycles": self.total_stall_cycles}
 
     def restore_state(self, state: dict) -> None:
-        self._resume_at = state["resume_at"]
+        self.resume_at = state["resume_at"]
         self.stalls = state["stalls"]
         self.total_stall_cycles = state["total_stall_cycles"]
 

@@ -179,119 +179,131 @@ class Core:
     # ------------------------------------------------------------- executor
 
     def _execute(self, ops, abortable: bool = True):
-        """Run a machine-op list; returns COMMIT or ABORT."""
+        """Run a machine-op list; returns COMMIT or ABORT.
+
+        This loop runs once per *instruction* -- by far the hottest
+        Python in the simulator -- so it binds its collaborators to
+        locals and dispatches on exact op class identity (all machine
+        ops are final classes) rather than isinstance chains.  Timing
+        behaviour is identical to the straightforward version.
+        """
         env = self.env
         system = self.system
         design = system.design
         runtime = system.runtime
+        stall = system.stall
+        stats_add = self.stats.add
+        store_queue = self.store_queue
+        core_id = self.core_id
         eager = runtime.recovery_mode == "eager"
         delay = 0
         for op in ops:
-            self.stats.add("instructions")
+            stats_add("instructions")
             t = env.now + delay
             # Speculation-buffer overflow pauses every core (§5.3).
-            release = system.stall.release_time(t)
+            release = stall.resume_at
             if release > t:
-                self.stats.add("spec_stall_cycles", release - t)
+                stats_add("spec_stall_cycles", release - t)
                 delay += release - t
                 t = release
             if abortable and eager and runtime.must_abort(
-                    self.core_id, at_boundary=False):
+                    core_id, at_boundary=False):
                 yield env.timeout(delay)
-                self.stats.add("eager_aborts")
+                stats_add("eager_aborts")
                 return ABORT
 
-            if isinstance(op, Comp):
+            kind = op.__class__
+            if kind is Comp:
                 delay += op.cycles
-            elif isinstance(op, MirrorOld):
-                runtime.log_write(self.core_id, op.addr,
-                                  system.image.read(op.addr))
-            elif isinstance(op, Ld):
-                result = system.hierarchy.load(self.core_id, op.addr, t)
+            elif kind is St:
+                value = op.value
+                if op.log_of is not None:
+                    value = system.image.read(op.log_of)
+                    runtime.log_write(core_id, op.log_of, value)
+                done = design.store(core_id, op.addr, value, t,
+                                    to_pm=op.to_pm, kind=op.kind,
+                                    shared=op.shared)
+                accept = store_queue.push(t, done - t)
+                delay += max(1, accept - t)
+            elif kind is Ld:
+                result = system.hierarchy.load(core_id, op.addr, t)
                 if result.event is None:
                     delay = result.done - env.now
                 else:
                     # PM miss: overlap it (MLP) instead of blocking; the
                     # fill happens via the event's callback at `done`.
-                    self.stats.add("pm_loads")
+                    stats_add("pm_loads")
                     accept = self._misses.push(t, result.done)
                     if accept > t:
-                        self.stats.add("mlp_stall_cycles", accept - t)
+                        stats_add("mlp_stall_cycles", accept - t)
                     delay += max(1, accept - t)
                     result.event.add_callback(self._count_stale)
-            elif isinstance(op, St):
-                value = op.value
-                if op.log_of is not None:
-                    value = system.image.read(op.log_of)
-                    runtime.log_write(self.core_id, op.log_of, value)
-                done = design.store(self.core_id, op.addr, value, t,
-                                    to_pm=op.to_pm, kind=op.kind,
-                                    shared=op.shared)
-                accept = self.store_queue.push(t, done - t)
+            elif kind is MirrorOld:
+                runtime.log_write(core_id, op.addr,
+                                  system.image.read(op.addr))
+            elif kind is Clwb:
+                done = design.clwb(core_id, op.addr, t)
+                accept = store_queue.push(t, done - t)
                 delay += max(1, accept - t)
-            elif isinstance(op, Clwb):
-                done = design.clwb(self.core_id, op.addr, t)
-                accept = self.store_queue.push(t, done - t)
-                delay += max(1, accept - t)
-            elif isinstance(op, Sfence):
-                self.store_queue.push(t, 1)
-                delay += max(1, design.sfence(self.core_id, t) - t)
-            elif isinstance(op, Ofence):
-                delay += max(1, design.ofence(self.core_id, t) - t)
-            elif isinstance(op, Dfence):
-                delay += max(1, design.dfence(self.core_id, t) - t)
-            elif isinstance(op, SpecBarrier):
-                delay += max(1, design.spec_barrier(self.core_id, t) - t)
-            elif isinstance(op, SpecAssign):
-                delay += max(1, design.spec_assign(self.core_id, t) - t)
-            elif isinstance(op, SpecRevoke):
-                delay += max(1, design.spec_revoke(self.core_id, t) - t)
-            elif isinstance(op, NewStrand):
-                delay += max(1, design.new_strand(self.core_id, t) - t)
-            elif isinstance(op, StrandBarrier):
-                delay += max(1, design.strand_barrier(self.core_id, t) - t)
-            elif isinstance(op, JoinStrand):
-                delay += max(1, design.join_strand(self.core_id, t) - t)
-            elif isinstance(op, Lock):
+            elif kind is Sfence:
+                store_queue.push(t, 1)
+                delay += max(1, design.sfence(core_id, t) - t)
+            elif kind is Ofence:
+                delay += max(1, design.ofence(core_id, t) - t)
+            elif kind is Dfence:
+                delay += max(1, design.dfence(core_id, t) - t)
+            elif kind is SpecBarrier:
+                delay += max(1, design.spec_barrier(core_id, t) - t)
+            elif kind is SpecAssign:
+                delay += max(1, design.spec_assign(core_id, t) - t)
+            elif kind is SpecRevoke:
+                delay += max(1, design.spec_revoke(core_id, t) - t)
+            elif kind is NewStrand:
+                delay += max(1, design.new_strand(core_id, t) - t)
+            elif kind is StrandBarrier:
+                delay += max(1, design.strand_barrier(core_id, t) - t)
+            elif kind is JoinStrand:
+                delay += max(1, design.join_strand(core_id, t) - t)
+            elif kind is Lock:
                 # Entering a critical section depends on prior loads.
                 delay = max(delay, self._loads_settled(t) - env.now)
                 yield env.timeout(delay)
                 delay = 0
-                yield system.locks[op.lock_id].acquire(self.core_id)
+                yield system.locks[op.lock_id].acquire(core_id)
                 self.held_locks.append(op.lock_id)
                 handoff = system.lock_network.transfer_cost(
-                    op.lock_id, self.core_id)
-                after = design.on_lock_op(self.core_id, env.now + handoff)
+                    op.lock_id, core_id)
+                after = design.on_lock_op(core_id, env.now + handoff)
                 delay = after - env.now
-                self.stats.add("lock_acquires")
-            elif isinstance(op, Unlock):
+                stats_add("lock_acquires")
+            elif kind is Unlock:
                 # Lazy recovery's check site: just before releasing the
                 # outermost lock (§6.2.1).
                 if (abortable and len(self.held_locks) == 1
-                        and runtime.must_abort(self.core_id,
+                        and runtime.must_abort(core_id,
                                                at_boundary=True)):
                     yield env.timeout(delay)
-                    self.stats.add("lazy_aborts")
+                    stats_add("lazy_aborts")
                     return ABORT
-                release_at = max(design.on_lock_op(self.core_id, t),
+                release_at = max(design.on_lock_op(core_id, t),
                                  self._loads_settled(t))
                 delay = release_at - env.now
                 yield env.timeout(delay)
                 delay = 0
                 self.held_locks.remove(op.lock_id)
-                system.locks[op.lock_id].release(self.core_id)
-            elif isinstance(op, FaseBegin):
-                runtime.fase_begin(self.core_id, op.fase_id, t)
-            elif isinstance(op, FaseEnd):
+                system.locks[op.lock_id].release(core_id)
+            elif kind is FaseBegin:
+                runtime.fase_begin(core_id, op.fase_id, t)
+            elif kind is FaseEnd:
                 # The FASE's result depends on every load it issued.
                 delay = max(delay, self._loads_settled(t) - env.now)
                 yield env.timeout(delay)
                 delay = 0
-                if abortable and runtime.must_abort(self.core_id,
+                if abortable and runtime.must_abort(core_id,
                                                     at_boundary=True):
-                    self.stats.add("lazy_aborts")
+                    stats_add("lazy_aborts")
                     return ABORT
-                runtime.fase_commit(self.core_id, env.now)
+                runtime.fase_commit(core_id, env.now)
             else:  # pragma: no cover - lowering emits nothing else
                 raise TypeError(f"core cannot execute {op!r}")
         if delay:

@@ -29,12 +29,7 @@ from .report import (
     format_timeseries,
     sparkline,
 )
-from .runner import (
-    compare_designs,
-    full_comparison,
-    normalized_throughput,
-    run_benchmark,
-)
+from .runner import normalized_throughput
 from .sweep import (
     STRUCTURAL_FIELDS,
     ParallelExecutor,
@@ -49,16 +44,17 @@ from .sweep import (
 )
 
 __all__ = [
-    "BASELINE", "diff_artifacts", "load_artifact", "save_artifact", "BENCHMARK_ORDER", "DESIGNS", "compare_designs",
+    "BASELINE", "diff_artifacts", "load_artifact", "save_artifact",
+    "BENCHMARK_ORDER", "DESIGNS",
     "default_config", "figure9", "figure10", "figure10_summary",
     "figure11", "figure12", "format_bar_chart", "format_misspec_table",
     "format_normalized_table", "format_series", "format_table3",
     "format_timeseries", "sparkline", "execute_spec",
-    "figure2_annotation_burden", "full_comparison",
+    "figure2_annotation_burden",
     "lazy_vs_eager_recovery", "misspeculation_rates",
     "ParallelExecutor", "RunSpec", "STRUCTURAL_FIELDS", "Sweep",
     "SweepError", "SweepResult", "build_spec_system", "fork_warm_starts",
     "structural_mismatches", "undo_vs_redo_ablation",
-    "naive_tagging_ablation", "normalized_throughput", "run_benchmark",
+    "naive_tagging_ablation", "normalized_throughput",
     "table3_rows",
 ]

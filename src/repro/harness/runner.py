@@ -1,78 +1,22 @@
-"""Legacy single-run and comparison drivers (deprecated shims).
+"""Post-processing helpers for completed runs.
 
-Every entry point here predates the declarative sweep API and now
-delegates to :class:`repro.harness.sweep.RunSpec` /
-:class:`repro.harness.sweep.ParallelExecutor` with ``jobs=1``, emitting
-a :class:`DeprecationWarning`.  New code should build a
-:class:`~repro.harness.sweep.Sweep` and run it through an executor --
-that path parallelises, caches, and validates its inputs.
+The pre-sweep drivers that used to live here (``run_benchmark``,
+``compare_designs``, ``full_comparison``) spent one release as
+``DeprecationWarning`` shims and are now gone: build a
+:class:`repro.harness.sweep.RunSpec` / :class:`repro.harness.sweep.Sweep`
+and run it through :class:`repro.harness.sweep.ParallelExecutor`, which
+parallelises, caches, and validates its inputs.
 
-Only :func:`normalized_throughput` remains first-class: it is a pure
+Only :func:`normalized_throughput` remains: it is a pure
 post-processing helper with no overlapping call shape.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Dict, Iterable, Optional
+from typing import Dict
 
-from ..config import SystemConfig
 from ..system import SimResult
-from .configs import BASELINE, BENCHMARK_ORDER, DESIGNS
-from .sweep import ParallelExecutor, RunSpec, Sweep
-
-
-def _deprecated(name: str) -> None:
-    warnings.warn(
-        f"{name}() is deprecated; build a repro.harness.RunSpec/Sweep and "
-        f"run it through ParallelExecutor instead",
-        DeprecationWarning, stacklevel=3)
-
-
-def _reconcile_config(config: Optional[SystemConfig], n_threads: int,
-                      caller: str) -> Optional[SystemConfig]:
-    """Old behaviour: silently rewrite config.n_cores to n_threads.
-    RunSpec refuses that, so the shim warns loudly before rewriting."""
-    if config is not None and config.n_cores != n_threads:
-        warnings.warn(
-            f"{caller}: config.n_cores={config.n_cores} disagrees with "
-            f"n_threads={n_threads}; rewriting n_cores to match.  "
-            f"RunSpec raises ValueError on this mismatch -- pass a "
-            f"config built for {n_threads} cores.",
-            UserWarning, stacklevel=4)
-        return config.with_overrides(n_cores=n_threads)
-    return config
-
-
-def run_benchmark(benchmark: str, design: str, n_threads: int = 8,
-                  fases_per_thread: Optional[int] = None, seed: int = 42,
-                  config: Optional[SystemConfig] = None,
-                  recovery_mode: str = "lazy") -> SimResult:
-    """Deprecated: run one (benchmark, design) pair to completion."""
-    _deprecated("run_benchmark")
-    spec = RunSpec(benchmark=benchmark, design=design, n_threads=n_threads,
-                   fases_per_thread=fases_per_thread, seed=seed,
-                   config=_reconcile_config(config, n_threads,
-                                            "run_benchmark"),
-                   recovery_mode=recovery_mode)
-    return ParallelExecutor(jobs=1).run(spec)[0]
-
-
-def compare_designs(benchmark: str, designs: Iterable[str] = DESIGNS,
-                    n_threads: int = 8,
-                    fases_per_thread: Optional[int] = None, seed: int = 42,
-                    config: Optional[SystemConfig] = None
-                    ) -> Dict[str, SimResult]:
-    """Deprecated: one benchmark under several designs (same seed)."""
-    _deprecated("compare_designs")
-    config = _reconcile_config(config, n_threads, "compare_designs")
-    sweep = Sweep([RunSpec(benchmark=benchmark, design=design,
-                           n_threads=n_threads,
-                           fases_per_thread=fases_per_thread, seed=seed,
-                           config=config)
-                   for design in designs], name="compare_designs")
-    done = ParallelExecutor(jobs=1).run(sweep)
-    return {spec.design: result for spec, result in done}
+from .configs import BASELINE
 
 
 def normalized_throughput(results: Dict[str, SimResult],
@@ -83,25 +27,3 @@ def normalized_throughput(results: Dict[str, SimResult],
         raise ValueError(f"baseline {baseline} produced no throughput")
     return {design: result.throughput / base
             for design, result in results.items()}
-
-
-def full_comparison(n_threads: int = 8,
-                    fases_per_thread: Optional[int] = None, seed: int = 42,
-                    config: Optional[SystemConfig] = None,
-                    benchmarks: Iterable[str] = BENCHMARK_ORDER,
-                    designs: Iterable[str] = DESIGNS
-                    ) -> Dict[str, Dict[str, SimResult]]:
-    """Deprecated: every benchmark under every design (Fig 9/10 grid)."""
-    _deprecated("full_comparison")
-    config = _reconcile_config(config, n_threads, "full_comparison")
-    sweep = Sweep([RunSpec(benchmark=benchmark, design=design,
-                           n_threads=n_threads,
-                           fases_per_thread=fases_per_thread, seed=seed,
-                           config=config)
-                   for benchmark in benchmarks for design in designs],
-                  name="full_comparison")
-    done = ParallelExecutor(jobs=1).run(sweep)
-    out: Dict[str, Dict[str, SimResult]] = {}
-    for spec, result in done:
-        out.setdefault(spec.benchmark, {})[spec.design] = result
-    return out

@@ -340,15 +340,23 @@ class SweepError(RuntimeError):
         self.worker_traceback = worker_traceback
 
 
-def build_spec_system(spec: RunSpec, tracer=None, metrics=None):
-    """Build (but do not run) the fully wired system for one spec."""
+def build_spec_system(spec: RunSpec, tracer=None, metrics=None,
+                      scheduler=None):
+    """Build (but do not run) the fully wired system for one spec.
+
+    ``scheduler`` selects the event-queue implementation (see
+    :data:`repro.sim.SCHEDULERS`); it is an execution detail -- results
+    are identical either way -- so it is not part of the spec and does
+    not perturb the sweep cache key.
+    """
     workload = _workload_class(spec.benchmark)(seed=spec.seed)
     program = workload.build(spec.n_threads, spec.resolved_fases())
     system = build_system(program, design_by_name(spec.design),
                           spec.resolved_config(),
                           recovery_mode=spec.recovery_mode,
                           log_mode=spec.log_mode,
-                          tracer=tracer, metrics=metrics)
+                          tracer=tracer, metrics=metrics,
+                          scheduler=scheduler)
     if spec.core_extra_cycles is not None:
         core_id, cycles = spec.core_extra_cycles
         system.persist_path.set_core_extra(core_id, cycles)

@@ -22,9 +22,26 @@ from ..isa import CACHE_BLOCK_BYTES, block_base
 class PMDevice:
     """Byte-addressable persistent memory with a persisted-value image."""
 
+    __slots__ = ("_image", "_blocks", "record_history", "history",
+                 "stores_persisted", "blocks_persisted", "on_persist")
+
     def __init__(self, initial_image: Optional[Dict[int, int]] = None,
                  record_history: bool = False):
         self._image: Dict[int, int] = dict(initial_image or {})
+        # Per-block view of the same image, so block_content is O(words
+        # in block) instead of an O(image) scan per PM read.  Both maps
+        # receive every write in the same order, so a block's insertion
+        # order here matches a block-filtered scan of ``_image`` exactly
+        # (the image only ever grows) -- keeping replay and snapshot
+        # encodings byte-identical with the single-map implementation.
+        self._blocks: Dict[int, Dict[int, int]] = {}
+        for addr, value in self._image.items():
+            block = addr // CACHE_BLOCK_BYTES
+            bucket = self._blocks.get(block)
+            if bucket is None:
+                self._blocks[block] = {addr: value}
+            else:
+                bucket[addr] = value
         self.record_history = record_history
         # (time, addr, value, origin) tuples, origin in
         # {"persist-path", "writeback", "recovery"}.
@@ -42,15 +59,20 @@ class PMDevice:
         return self._image.get(addr, 0)
 
     def block_content(self, block: int) -> Dict[int, int]:
-        """All persisted values inside cache block number ``block``."""
-        base = block * CACHE_BLOCK_BYTES
-        return {addr: value for addr, value in self._image.items()
-                if base <= addr < base + CACHE_BLOCK_BYTES}
+        """All persisted values inside cache block number ``block``
+        (a fresh dict -- callers may mutate it)."""
+        bucket = self._blocks.get(block)
+        return dict(bucket) if bucket else {}
 
     def persist_store(self, addr: int, value: int, now: int,
                       origin: str = "persist-path") -> None:
         """Persist one store (persist-path message accepted at the PMC)."""
         self._image[addr] = value
+        bucket = self._blocks.get(addr // CACHE_BLOCK_BYTES)
+        if bucket is None:
+            self._blocks[addr // CACHE_BLOCK_BYTES] = {addr: value}
+        else:
+            bucket[addr] = value
         self.stores_persisted += 1
         if self.record_history:
             self.history.append((now, addr, value, origin))
@@ -61,12 +83,18 @@ class PMDevice:
                       origin: str = "writeback") -> None:
         """Persist a whole cache block (CLWB / LLC writeback accepted)."""
         base = block_base(addr)
+        block = base // CACHE_BLOCK_BYTES
+        bucket = self._blocks.get(block)
+        if bucket is None:
+            bucket = self._blocks[block] = {}
+        image = self._image
         for byte_addr, value in data.items():
             if not base <= byte_addr < base + CACHE_BLOCK_BYTES:
                 raise ValueError(
                     f"block persist at 0x{base:x} carries out-of-block "
                     f"address 0x{byte_addr:x}")
-            self._image[byte_addr] = value
+            image[byte_addr] = value
+            bucket[byte_addr] = value
             if self.record_history:
                 self.history.append((now, byte_addr, value, origin))
         self.blocks_persisted += 1
@@ -91,6 +119,14 @@ class PMDevice:
 
     def restore_state(self, state: dict) -> None:
         self._image = {addr: value for addr, value in state["image"]}
+        self._blocks = {}
+        for addr, value in self._image.items():
+            block = addr // CACHE_BLOCK_BYTES
+            bucket = self._blocks.get(block)
+            if bucket is None:
+                self._blocks[block] = {addr: value}
+            else:
+                bucket[addr] = value
         self.history = [tuple(entry) for entry in state["history"]]
         self.stores_persisted = state["stores_persisted"]
         self.blocks_persisted = state["blocks_persisted"]

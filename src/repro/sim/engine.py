@@ -3,28 +3,213 @@
 This is the substrate every timing model in the reproduction runs on.  It
 is a deliberately small re-implementation of the SimPy programming model:
 
-* an :class:`Environment` owns simulated time and a pending-event heap,
+* an :class:`Environment` owns simulated time and a pluggable pending-event
+  :class:`Scheduler` (calendar queue by default, binary heap for A/B runs),
 * a :class:`Process` wraps a Python generator; each value the generator
   yields is an :class:`Event` the process waits on,
 * :meth:`Environment.timeout` produces delay events, :meth:`Environment.event`
-  produces manually-triggered ones, and :class:`AllOf` joins several.
+  produces manually-triggered ones, and :class:`AllOf` joins several,
+* :meth:`Environment.schedule_at` is the allocation-free fast path: it fires
+  a bare callback at an absolute cycle without creating an :class:`Event`.
 
 Simulated time is a plain integer.  Throughout the repository one time
 unit is one CPU cycle at 2 GHz (0.5 ns) -- see
 :class:`repro.harness.configs.SystemConfig`.
+
+Scheduler protocol
+------------------
+A scheduler is any object with this surface (duck-typed, no ABC -- the
+kernel only ever calls these five operations):
+
+``push(when, item)``
+    Enqueue ``item`` (an :class:`Event` or a bare callable) at absolute
+    cycle ``when``.  ``when`` is never in the past: every producer goes
+    through :meth:`Environment._schedule` / :meth:`Environment.schedule_at`,
+    which guarantee ``when >= now``.
+``pop() -> (when, item)``
+    Remove and return the earliest item.  Items at the same cycle MUST
+    come back in insertion order (global FIFO per cycle) -- this is the
+    kernel's only tie-breaking rule and the determinism contract every
+    implementation must honour bit-for-bit.  Raises ``IndexError`` when
+    empty (the :class:`Environment` wraps it in a typed error).
+``peek() -> Optional[int]``
+    Cycle of the earliest item, or ``None`` when empty.  Must be O(1)
+    (amortised): the run loop calls it once per event.
+``__len__``
+    Number of pending items (0 means drained -- the snapshot quiesce
+    check relies on it).
+``clear()``
+    Drop everything, including any internal cursor, so a restored
+    environment starts from a genuinely empty queue.
+
+Two implementations ship: :class:`HeapScheduler` (the classic
+``(when, seq)`` binary heap -- one push/pop per event) and
+:class:`CalendarScheduler` (buckets keyed on cycle with a heap of
+*distinct* cycles -- one heap operation per populated cycle, list appends
+otherwise, which coalesces same-cycle wakeups into a single bucket
+drain).  Both order identically; ``tests/sim/test_scheduler_equivalence``
+holds them to that with randomised event programs.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from .metrics import NULL_METRICS, Metrics
 from .trace import NULL_TRACER, Tracer
 
 
 class SimulationError(RuntimeError):
-    """Raised for kernel misuse (double trigger, running a dead env...)."""
+    """Raised for kernel misuse (double trigger, stepping an empty queue,
+    scheduling into the past...)."""
+
+
+# ---------------------------------------------------------------- schedulers
+
+
+class HeapScheduler:
+    """The classic binary-heap scheduler: one heap push/pop per event.
+
+    Entries are ``(when, seq, item)`` tuples; ``seq`` is a monotonically
+    increasing insertion counter, so same-cycle items pop in insertion
+    order and the comparison never reaches the (unorderable) item.
+    Kept as the reference implementation for A/B benchmarking against
+    :class:`CalendarScheduler`.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    name = "heap"
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._seq = 0
+
+    def push(self, when: int, item: Any) -> None:
+        self._seq += 1
+        heappush(self._heap, (when, self._seq, item))
+
+    def pop(self) -> Tuple[int, Any]:
+        when, _seq, item = heappop(self._heap)
+        return when, item
+
+    def peek(self) -> Optional[int]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def clear(self) -> None:
+        self._heap = []
+        self._seq = 0
+
+
+class CalendarScheduler:
+    """Calendar-queue scheduler: per-cycle FIFO buckets, a heap of cycles.
+
+    The DES workload here is extremely tie-heavy -- persist acceptances,
+    store-queue drains and same-cycle process wakeups cluster on shared
+    cycles -- so the heap only ever carries *distinct* populated cycles.
+    Pushing into an existing bucket is a list append; draining a bucket
+    costs one ``heappop`` regardless of how many wakeups coalesced into
+    it.  Between populated cycles the queue jumps directly to the next
+    bucket (no per-cycle tick), which is what lets quiescent components
+    cost nothing between persist events.
+
+    Ordering contract: buckets preserve insertion order, and a bucket
+    re-created for the cycle currently being drained (an event at ``now``
+    scheduling another event at ``now``) appends *behind* the remaining
+    items -- exactly the ``(when, seq)`` order of :class:`HeapScheduler`.
+    """
+
+    __slots__ = ("_buckets", "_cycles", "_cur_cycle", "_cur_bucket",
+                 "_cur_idx", "_size")
+
+    name = "calendar"
+
+    def __init__(self) -> None:
+        self._buckets: dict = {}     # cycle -> list of items (FIFO)
+        self._cycles: List[int] = []  # heap of distinct pending cycles
+        self._cur_cycle = -1
+        self._cur_bucket: Optional[list] = None
+        self._cur_idx = 0
+        self._size = 0
+
+    def push(self, when: int, item: Any) -> None:
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [item]
+            heappush(self._cycles, when)
+        else:
+            bucket.append(item)
+        self._size += 1
+
+    def pop(self) -> Tuple[int, Any]:
+        bucket = self._cur_bucket
+        idx = self._cur_idx
+        if bucket is None or idx >= len(bucket):
+            # Advance the cursor: retire the drained bucket (same-cycle
+            # late arrivals appended to it while it sat in the dict have
+            # already been consumed if idx caught up) and open the next
+            # earliest one.
+            if bucket is not None:
+                del self._buckets[self._cur_cycle]
+            cycle = heappop(self._cycles)      # IndexError when empty
+            bucket = self._buckets[cycle]
+            self._cur_cycle = cycle
+            self._cur_bucket = bucket
+            idx = 0
+        item = bucket[idx]
+        bucket[idx] = None                     # drop the reference early
+        self._cur_idx = idx + 1
+        self._size -= 1
+        return self._cur_cycle, item
+
+    def peek(self) -> Optional[int]:
+        bucket = self._cur_bucket
+        if bucket is not None and self._cur_idx < len(bucket):
+            return self._cur_cycle
+        return self._cycles[0] if self._cycles else None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def clear(self) -> None:
+        self._buckets = {}
+        self._cycles = []
+        self._cur_cycle = -1
+        self._cur_bucket = None
+        self._cur_idx = 0
+        self._size = 0
+
+
+SCHEDULERS = {
+    HeapScheduler.name: HeapScheduler,
+    CalendarScheduler.name: CalendarScheduler,
+}
+
+#: Scheduler used when :class:`Environment` is built without an explicit
+#: choice.  The calendar queue is the production default; the heap stays
+#: available for A/B comparisons (``Environment(scheduler="heap")``).
+DEFAULT_SCHEDULER = CalendarScheduler.name
+
+
+def make_scheduler(scheduler) -> Any:
+    """Resolve a scheduler argument: None/name/instance -> instance."""
+    if scheduler is None:
+        scheduler = DEFAULT_SCHEDULER
+    if isinstance(scheduler, str):
+        try:
+            return SCHEDULERS[scheduler]()
+        except KeyError:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; choose from "
+                f"{sorted(SCHEDULERS)}") from None
+    return scheduler
+
+
+# -------------------------------------------------------------------- events
 
 
 class Event:
@@ -199,8 +384,18 @@ class Interrupted(Exception):
         self.reason = reason
 
 
+# --------------------------------------------------------------- environment
+
+
 class Environment:
-    """Owns the clock and the event heap and drives the simulation.
+    """Owns the clock and the pending-event scheduler and drives the
+    simulation.
+
+    ``scheduler`` picks the queue implementation: ``"calendar"`` (default),
+    ``"heap"``, or any object honouring the scheduler protocol documented
+    in the module docstring.  All schedulers order identically (FIFO per
+    cycle), so the choice is a pure performance knob -- results are
+    bit-identical by contract.
 
     Also the anchor for observability: every component reachable from
     the environment shares its ``trace`` (:class:`~repro.sim.trace.Tracer`)
@@ -210,17 +405,50 @@ class Environment:
     """
 
     def __init__(self, tracer: Optional[Tracer] = None,
-                 metrics: Optional[Metrics] = None) -> None:
+                 metrics: Optional[Metrics] = None,
+                 scheduler=None) -> None:
         self.now: int = 0
         self.trace: Tracer = NULL_TRACER if tracer is None else tracer
         self.metrics: Metrics = (NULL_METRICS if metrics is None
                                  else metrics)
-        self._heap: List = []
+        self._scheduler = make_scheduler(scheduler)
+        # Counts every scheduling operation (events *and* bare callbacks).
+        # Only ever used to break same-cycle ties in the HeapScheduler and
+        # to keep snapshot payloads byte-identical across scheduler
+        # implementations; never architectural state.
         self._sequence = 0
+
+    @property
+    def scheduler(self):
+        """The live scheduler instance (read-only; swap via constructor)."""
+        return self._scheduler
+
+    # ------------------------------------------------------------ scheduling
 
     def _schedule(self, event: Event, delay: int) -> None:
         self._sequence += 1
-        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+        self._scheduler.push(self.now + delay, event)
+
+    def schedule_at(self, when: int, callback: Callable[[], None]) -> None:
+        """Run a bare callback at absolute cycle ``when`` (>= now).
+
+        This is the allocation-free fast path for component wakeups: no
+        :class:`Event` or tuple is created per hop -- the callable goes
+        straight into the scheduler and is invoked with no arguments when
+        its cycle comes up.  Use :meth:`event` + callbacks only when some
+        other party needs to *wait* on the occurrence.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"schedule_at into the past: {when} < {self.now}")
+        self._sequence += 1
+        self._scheduler.push(when, callback)
+
+    #: Established alias (pre-dates the scheduler redesign); identical
+    #: fast-path semantics.
+    call_at = schedule_at
+
+    # ------------------------------------------------------- event factories
 
     def event(self) -> Event:
         return Event(self)
@@ -237,57 +465,97 @@ class Environment:
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         return Process(self, generator, name=name)
 
-    def call_at(self, when: int, callback: Callable[[], None]) -> None:
-        """Run a bare callback at absolute time ``when`` (>= now)."""
-        if when < self.now:
-            raise SimulationError(f"call_at into the past: {when} < {self.now}")
-        marker = Event(self)
-        marker.add_callback(lambda _e: callback())
-        self._schedule(marker, when - self.now)
+    # ------------------------------------------------------------ the loop
 
     def peek(self) -> Optional[int]:
-        """Time of the next pending event, or None if the heap is empty."""
-        return self._heap[0][0] if self._heap else None
+        """Cycle of the next pending item, or None when the queue is
+        empty.  O(1) under both shipped schedulers."""
+        return self._scheduler.peek()
+
+    def pending(self) -> int:
+        """Number of pending scheduler items (0 == quiesced)."""
+        return len(self._scheduler)
 
     def step(self) -> None:
-        when, _seq, event = heapq.heappop(self._heap)
+        """Fire the single earliest pending item (advancing ``now``).
+
+        Raises :class:`SimulationError` when nothing is pending -- an
+        empty queue is a legitimate simulation state, so callers that are
+        not sure should guard with :meth:`peek`.
+        """
+        scheduler = self._scheduler
+        if not len(scheduler):
+            raise SimulationError(
+                "step() called with no pending events (guard with peek())")
+        when, item = scheduler.pop()
         if when < self.now:
             raise SimulationError("event scheduled in the past")
         self.now = when
-        event._fire()
+        if isinstance(item, Event):
+            item._fire()
+        else:
+            item()
 
     def run(self, until: Optional[int] = None,
             stop_event: Optional[Event] = None) -> int:
-        """Drain the event heap.
+        """Drain the pending-event queue; returns the final simulated time.
 
-        Stops when the heap empties, when simulated time would pass
-        ``until``, or as soon as ``stop_event`` has fired.  Returns the
-        final simulated time.
+        Semantics, exhaustively:
+
+        * With no arguments, runs until the queue is completely empty.
+        * ``until=T`` stops *before* firing the first item scheduled past
+          ``T`` and sets ``now = T`` exactly (the queue keeps the unfired
+          items; a later ``run`` call resumes them).  Items *at* ``T``
+          still fire.
+        * ``stop_event=e`` returns as soon as ``e`` has fired, checked
+          before every item; items already scheduled for the same cycle
+          but after ``e``'s trigger remain queued.
+        * Both bounds may be combined; whichever trips first wins.
         """
-        while self._heap:
-            if stop_event is not None and stop_event.triggered:
+        scheduler = self._scheduler
+        pop = scheduler.pop
+        peek = scheduler.peek
+        # One tight loop, bound checks hoisted as locals; the generic
+        # shape (both bounds) is rare enough to share the code path.
+        while True:
+            if stop_event is not None and stop_event._triggered:
                 break
-            if until is not None and self._heap[0][0] > until:
+            when = peek()
+            if when is None:
+                break
+            if until is not None and when > until:
                 self.now = until
                 break
-            self.step()
+            when, item = pop()
+            self.now = when
+            if isinstance(item, Event):
+                item._fire()
+            else:
+                item()
         return self.now
+
+    # -------------------------------------------------------- snapshotting
 
     def capture_state(self) -> dict:
         """Snapshot the clock.  Only legal at a quiesce point: pending
         events wrap live generators/callbacks and cannot be serialised,
-        so a non-empty heap is a hard error, not a silent omission."""
-        if self._heap:
+        so a non-empty queue is a hard error, not a silent omission."""
+        pending = len(self._scheduler)
+        if pending:
             from ..snapshot.store import SnapshotError
             raise SnapshotError(
-                f"environment heap not empty at capture "
-                f"({len(self._heap)} pending events)")
+                f"environment queue not empty at capture "
+                f"({pending} pending events)")
         return {"now": self.now, "sequence": self._sequence}
 
     def restore_state(self, state: dict) -> None:
         self.now = state["now"]
-        # The sequence counter only breaks same-time heap ties among
+        # The sequence counter only breaks same-time scheduler ties among
         # events created *after* this point, so restoring it is about
         # byte-identical replay, not correctness.
         self._sequence = state["sequence"]
-        self._heap = []
+        # Reset the queue *and* any internal cursor (the calendar queue
+        # keeps a partially-drained bucket between pops); absolute-time
+        # callbacks registered after the restore re-arm against a clean
+        # queue at the restored ``now``.
+        self._scheduler.clear()

@@ -15,8 +15,9 @@ Three primitives cover every shared structure in the simulator:
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 from .engine import Environment, Event
 
@@ -97,6 +98,9 @@ class TimelineResource:
     involved, making it cheap enough for per-memory-access use.
     """
 
+    __slots__ = ("width", "name", "_lanes", "total_busy",
+                 "total_requests", "total_wait")
+
     def __init__(self, width: int = 1, name: str = "timeline"):
         if width < 1:
             raise ValueError("width must be >= 1")
@@ -114,10 +118,20 @@ class TimelineResource:
     def reserve(self, now: int, service: int) -> Tuple[int, int]:
         if service < 0:
             raise ValueError("negative service time")
-        lane = min(range(self.width), key=lambda i: self._lanes[i])
-        start = max(now, self._lanes[lane])
+        lanes = self._lanes
+        # Earliest-free lane, first-index tie-break (matches
+        # ``min(range(width), key=...)`` but without the per-call lambda).
+        lane = 0
+        free = lanes[0]
+        if len(lanes) > 1:
+            for index in range(1, len(lanes)):
+                when = lanes[index]
+                if when < free:
+                    lane = index
+                    free = when
+        start = free if free > now else now
         finish = start + service
-        self._lanes[lane] = finish
+        lanes[lane] = finish
         self.total_requests += 1
         self.total_busy += service
         self.total_wait += start - now
@@ -152,6 +166,9 @@ class OccupancyQueue:
     are free, otherwise the completion of the oldest in-flight entry.
     """
 
+    __slots__ = ("capacity", "name", "_completions", "pushes",
+                 "stalled_pushes", "total_stall")
+
     def __init__(self, capacity: int, name: str = "occupancy"):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -163,10 +180,10 @@ class OccupancyQueue:
         self.total_stall = 0
 
     def _evict_completed(self, now: int) -> None:
-        import bisect
-        index = bisect.bisect_right(self._completions, now)
-        if index:
-            del self._completions[:index]
+        completions = self._completions
+        if completions and completions[0] <= now:
+            index = bisect_right(completions, now)
+            del completions[:index]
 
     def occupancy(self, now: int) -> int:
         self._evict_completed(now)
@@ -175,15 +192,15 @@ class OccupancyQueue:
     def push(self, now: int, completion: int) -> int:
         """Admit an entry completing at ``completion``; returns admission
         time (> ``now`` means the queue was full: caller stalls)."""
-        import bisect
         self._evict_completed(now)
+        completions = self._completions
         accept = now
-        if len(self._completions) >= self.capacity:
-            overflow = len(self._completions) - self.capacity + 1
-            accept = self._completions[overflow - 1]
+        if len(completions) >= self.capacity:
+            overflow = len(completions) - self.capacity + 1
+            accept = completions[overflow - 1]
             self.stalled_pushes += 1
             self.total_stall += accept - now
-        bisect.insort(self._completions, max(completion, now))
+        insort(completions, completion if completion > now else now)
         self.pushes += 1
         return accept
 
@@ -215,6 +232,9 @@ class CapacityQueue:
     the oldest in-flight entry completes (back-pressure), which is how
     store-queue/persist-buffer overflow stalls arise.
     """
+
+    __slots__ = ("capacity", "drain_latency", "name", "_drain",
+                 "_completions", "pushes", "stalled_pushes", "total_stall")
 
     def __init__(self, capacity: int, drain_latency: int, width: int = 1,
                  name: str = "queue"):

@@ -3,41 +3,41 @@
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 from typing import Dict, Iterable, List
 
 
-class Counter:
-    """A named bag of integer counters with dict-like access."""
+class Counter(dict):
+    """A named bag of integer counters with dict-like access.
 
-    def __init__(self) -> None:
-        self._values: Dict[str, int] = defaultdict(int)
+    A ``dict`` subclass (rather than a wrapper) so the per-event hot
+    paths pay a single C-level ``get``/``__setitem__`` per bump; missing
+    names still read as 0.
+    """
+
+    __slots__ = ()
 
     def add(self, name: str, amount: int = 1) -> None:
-        self._values[name] += amount
+        self[name] = self.get(name, 0) + amount
 
     def __getitem__(self, name: str) -> int:
-        return self._values.get(name, 0)
-
-    def __contains__(self, name: str) -> bool:
-        return name in self._values
+        return self.get(name, 0)
 
     def as_dict(self) -> Dict[str, int]:
-        return dict(self._values)
+        return dict(self)
 
     def merge(self, other: "Counter") -> None:
-        for name, value in other._values.items():
-            self._values[name] += value
+        for name, value in other.items():
+            self[name] = self.get(name, 0) + value
 
     def capture_state(self) -> Dict[str, int]:
-        return dict(self._values)
+        return dict(self)
 
     def restore_state(self, state: Dict[str, int]) -> None:
-        self._values = defaultdict(int)
-        self._values.update(state)
+        self.clear()
+        self.update(state)
 
     def __repr__(self) -> str:
-        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.items()))
         return f"Counter({inner})"
 
 

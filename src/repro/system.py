@@ -163,7 +163,7 @@ class System:
                  lowered: LoweredProgram,
                  recovery_mode: str = "lazy",
                  record_history: bool = False,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None, scheduler=None):
         if design.flavor != lowered.flavor:
             raise ValueError(
                 f"design {design.name} executes flavor {design.flavor!r} "
@@ -179,7 +179,8 @@ class System:
         self.lowered = lowered
         self.program = program
 
-        self.env = Environment(tracer=tracer, metrics=metrics)
+        self.env = Environment(tracer=tracer, metrics=metrics,
+                               scheduler=scheduler)
         # Pre-register tracks in a stable order so trace tids (and
         # therefore Perfetto row order) do not depend on which component
         # happens to emit first: cores, persist path, PMC, spec buffer.
@@ -280,7 +281,7 @@ class System:
             self.env.run(until=until, stop_event=stop_event)
             if stop_event is not None and stop_event.triggered:
                 return self.env.now
-            if self.env._heap:
+            if self.env.pending():
                 # Stopped at the ``until`` bound mid-flight (a crash
                 # point); parked cores are legitimate crash state.
                 return self.env.now
@@ -451,12 +452,17 @@ def build_system(program: Program, design: Design,
                  recovery_mode: str = "lazy",
                  record_history: bool = False,
                  log_mode: str = "undo",
-                 tracer=None, metrics=None) -> System:
-    """Convenience: lower ``program`` for ``design`` and assemble."""
+                 tracer=None, metrics=None, scheduler=None) -> System:
+    """Convenience: lower ``program`` for ``design`` and assemble.
+
+    ``scheduler`` selects the environment's event-queue implementation
+    (``"calendar"``/``"heap"``/instance; see :mod:`repro.sim.engine`) --
+    a pure performance knob, results are scheduler-independent.
+    """
     from .config import table3_config
     if config is None:
         config = table3_config(n_cores=program.n_threads)
     lowered = lower_program(program, design.flavor, log_mode=log_mode)
     return System(config, design, lowered, recovery_mode=recovery_mode,
                   record_history=record_history,
-                  tracer=tracer, metrics=metrics)
+                  tracer=tracer, metrics=metrics, scheduler=scheduler)

@@ -5,7 +5,9 @@ import pytest
 from repro.harness import (
     BENCHMARK_ORDER,
     DESIGNS,
-    compare_designs,
+    ParallelExecutor,
+    RunSpec,
+    Sweep,
     figure9,
     figure10_summary,
     figure11,
@@ -17,7 +19,6 @@ from repro.harness import (
     lazy_vs_eager_recovery,
     misspeculation_rates,
     normalized_throughput,
-    run_benchmark,
     table3_rows,
 )
 from repro.harness.__main__ import main
@@ -25,23 +26,31 @@ from repro.harness.__main__ import main
 FAST = dict(scale=0.2, seed=7)
 
 
+def run_by_design(benchmark, designs=DESIGNS, **spec_kwargs):
+    """One benchmark under several designs, keyed by design name."""
+    sweep = Sweep([RunSpec(benchmark=benchmark, design=design,
+                           **spec_kwargs)
+                   for design in designs], name="by-design")
+    return {spec.design: result
+            for spec, result in ParallelExecutor(jobs=1).run(sweep)}
+
+
 class TestRunner:
-    def test_run_benchmark_returns_result(self):
-        result = run_benchmark("tatp", "PMEM-Spec", n_threads=2,
-                               fases_per_thread=5)
+    def test_single_spec_returns_result(self):
+        result = ParallelExecutor(jobs=1).run(
+            RunSpec(benchmark="tatp", design="PMEM-Spec", n_threads=2,
+                    fases_per_thread=5))[0]
         assert result.design == "PMEM-Spec"
         assert result.workload == "tatp"
         assert result.fases_committed == 10
 
-    def test_compare_designs_same_workload(self):
-        results = compare_designs("queue", DESIGNS, n_threads=2,
-                                  fases_per_thread=5)
+    def test_sweep_by_design_same_workload(self):
+        results = run_by_design("queue", n_threads=2, fases_per_thread=5)
         committed = {r.fases_committed for r in results.values()}
         assert committed == {10}
 
     def test_normalized_throughput_baseline_is_one(self):
-        results = compare_designs("queue", DESIGNS, n_threads=2,
-                                  fases_per_thread=5)
+        results = run_by_design("queue", n_threads=2, fases_per_thread=5)
         normalized = normalized_throughput(results)
         assert normalized["IntelX86"] == pytest.approx(1.0)
         assert set(normalized) == set(DESIGNS)

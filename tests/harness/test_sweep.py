@@ -12,9 +12,6 @@ from repro.harness import (
     RunSpec,
     Sweep,
     SweepError,
-    compare_designs,
-    full_comparison,
-    run_benchmark,
 )
 from repro.harness.sweep import _execute_spec
 from repro.system import RESULT_SCHEMA_VERSION, SimResult
@@ -255,33 +252,12 @@ class TestFailureHandling:
             ParallelExecutor(jobs=1).run(SMALL_GRID)
 
 
-class TestDeprecationShims:
-    def test_run_benchmark_warns_and_matches_sweep(self):
-        with pytest.warns(DeprecationWarning):
-            old = run_benchmark("tatp", "PMEM-Spec", n_threads=2,
-                                fases_per_thread=5, seed=7)
-        new = ParallelExecutor(jobs=1).run(
-            RunSpec(benchmark="tatp", design="PMEM-Spec", n_threads=2,
-                    fases_per_thread=5, seed=7))[0]
-        assert old.to_dict() == new.to_dict()
-
-    def test_run_benchmark_warns_on_core_clobber(self):
-        with pytest.warns(UserWarning, match="disagrees with"):
-            result = run_benchmark("tatp", "PMEM-Spec", n_threads=2,
-                                   fases_per_thread=5, seed=7,
-                                   config=table3_config(n_cores=4))
-        assert result.n_cores == 2
-
-    def test_compare_designs_warns_and_keys_by_design(self):
-        with pytest.warns(DeprecationWarning):
-            results = compare_designs("queue", ("IntelX86", "HOPS"),
-                                      n_threads=2, fases_per_thread=5)
-        assert set(results) == {"IntelX86", "HOPS"}
-
-    def test_full_comparison_warns_and_nests(self):
-        with pytest.warns(DeprecationWarning):
-            grid = full_comparison(n_threads=2, fases_per_thread=5,
-                                   benchmarks=("tatp",),
-                                   designs=("IntelX86", "PMEM-Spec"))
-        assert set(grid) == {"tatp"}
-        assert set(grid["tatp"]) == {"IntelX86", "PMEM-Spec"}
+class TestShimRemoval:
+    def test_legacy_drivers_are_gone(self):
+        """The PR 1 deprecation shims had one release of warnings and
+        are now deleted outright, not silently aliased."""
+        import repro.harness as harness
+        for name in ("run_benchmark", "compare_designs",
+                     "full_comparison"):
+            assert not hasattr(harness, name)
+            assert name not in harness.__all__

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.config import table3_config
-from repro.harness import compare_designs, normalized_throughput
+from repro.harness import (ParallelExecutor, RunSpec, Sweep,
+                           normalized_throughput)
 from repro.persistency import design_by_name
 from repro.system import build_system
 from repro.workloads import BENCHMARKS, workload_by_name
@@ -36,10 +37,15 @@ class TestFigure9Shape:
     @pytest.fixture(scope="class")
     def results(self):
         out = {}
+        executor = ParallelExecutor(jobs=1)
         for benchmark in ("queue", "rbtree", "tpcc"):
-            runs = compare_designs(benchmark, DESIGNS, n_threads=4,
-                                   fases_per_thread=15, seed=42,
+            sweep = Sweep([RunSpec(benchmark=benchmark, design=design,
+                                   n_threads=4, fases_per_thread=15,
+                                   seed=42,
                                    config=table3_config(n_cores=4))
+                           for design in DESIGNS], name="fig9-shape")
+            runs = {spec.design: result
+                    for spec, result in executor.run(sweep)}
             out[benchmark] = normalized_throughput(runs)
         return out
 

@@ -72,7 +72,7 @@ def test_capture_refused_mid_flight():
         BENCHMARKS["queue"], "PMEM-Spec", 2, 5, seed=7)
     done = system.launch()
     system.advance(until=50, stop_event=done)
-    with pytest.raises(SnapshotError, match="heap"):
+    with pytest.raises(SnapshotError, match="not empty"):
         system.capture_state()
 
 
