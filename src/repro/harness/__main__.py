@@ -13,6 +13,11 @@ Usage::
     python -m repro.harness trace array_swaps --design PMEMSpec \
         --trace-out trace.json
     python -m repro.harness metrics tpcc --design PMEM-Spec --summary
+    python -m repro.harness profile tatp --design PMEM-Spec \
+        --profile-out tatp.folded
+    python -m repro.harness bench-history artifacts/ --html trends.html
+    python -m repro.harness fig9 --events-out events.jsonl \
+        --prom-out metrics.prom
     python -m repro.harness validate --planner stratified --budget 200 \
         --jobs 4 --report-out campaign.json
     python -m repro.harness validate --snapshot-every 50 \
@@ -38,6 +43,7 @@ to stdout; diagnostics (timings, cache provenance, progress) go to the
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import logging
 import os
@@ -263,6 +269,55 @@ def cmd_trace(args) -> None:
             f"Time series: {spec.benchmark}/{spec.design}"))
 
 
+def cmd_profile(args) -> None:
+    """Run one spec traced, attribute every simulated cycle to a
+    component, and write collapsed stacks for flamegraph tools."""
+    from ..obsv import get_bus, profile_run
+    from ..sim import MetricsCollector, TraceRecorder
+    from .sweep import execute_spec
+    spec = _observed_spec(args)
+    config = spec.resolved_config()
+    tracer = TraceRecorder(cycle_ns=config.cycle_ns)
+    metrics = MetricsCollector(window_cycles=args.metrics_window)
+    start = time.time()
+    with run_context(run_id=f"profile/{spec.benchmark}",
+                     spec_hash=spec.cache_key()[:12]):
+        result = execute_spec(spec, tracer=tracer, metrics=metrics)
+        elapsed = time.time() - start
+        log.info("%s done in %.1fs (%d trace events)", spec.describe(),
+                 elapsed, len(tracer))
+        bus = get_bus()
+        if bus.enabled:
+            series = (result.timeseries or {}).get("series", {})
+            wpq = series.get("wpq_depth", {})
+            bus.emit("spec_start", index=0, describe=spec.describe())
+            bus.emit("spec_finish", index=0, describe=spec.describe(),
+                     elapsed_s=elapsed, cache_hit=False, retried=False,
+                     source="profile", cycles=result.cycles,
+                     wpq_depth_means=[w.get("mean", 0.0)
+                                      for w in wpq.get("windows", [])])
+    profile = profile_run(tracer, result.cycles, wall_s=elapsed,
+                          label=spec.describe())
+    out = args.profile_out or f"{spec.benchmark}-{spec.design}.folded"
+    profile.save_collapsed(out)
+    console(profile.table())
+    console()
+    console(f"collapsed stacks written to {out} "
+            f"(feed to flamegraph.pl / speedscope / inferno)")
+
+
+def cmd_bench_history(args) -> None:
+    """Trend report over a directory of BENCH_*.json payloads and
+    *events*.jsonl event logs (CI artifact collections)."""
+    from ..obsv import HistoryReport, collect_records
+    root = args.target or "."
+    report = HistoryReport(collect_records(root))
+    console(report.render_terminal())
+    if args.html:
+        report.save_html(args.html)
+        console(f"HTML trend report written to {args.html}")
+
+
 def cmd_metrics(args) -> None:
     """Run one spec with windowed metrics; print series or sparklines."""
     from ..sim import MetricsCollector
@@ -408,6 +463,8 @@ COMMANDS = {
     "run": cmd_run,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "profile": cmd_profile,
+    "bench-history": cmd_bench_history,
     "snapshot": cmd_snapshot,
     "validate": cmd_validate,
     "all": cmd_all,
@@ -420,7 +477,9 @@ def main(argv=None) -> int:
         description="Regenerate the PMEM-Spec paper's tables and figures.")
     parser.add_argument("experiment", choices=sorted(COMMANDS))
     parser.add_argument("target", nargs="?", default=None,
-                        help="benchmark name (trace/metrics commands)")
+                        help="benchmark name (trace/metrics/profile "
+                             "commands) or artifact directory "
+                             "(bench-history)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="FASE-count multiplier (default 1.0)")
     parser.add_argument("--threads", type=int, default=8)
@@ -449,6 +508,18 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-out", default=None, metavar="FILE",
                         help="trace command: output path for the Chrome "
                              "trace-event JSON")
+    parser.add_argument("--events-out", default=None, metavar="FILE",
+                        help="write the run's lifecycle events as "
+                             "JSON-Lines (any command)")
+    parser.add_argument("--prom-out", default=None, metavar="FILE",
+                        help="write live aggregate metrics as a "
+                             "Prometheus textfile (any command)")
+    parser.add_argument("--profile-out", default=None, metavar="FILE",
+                        help="profile command: collapsed-stack output "
+                             "path (default <benchmark>-<design>.folded)")
+    parser.add_argument("--html", default=None, metavar="FILE",
+                        help="bench-history command: also write an HTML "
+                             "trend report")
     parser.add_argument("--metrics-window", type=int, default=10_000,
                         metavar="CYCLES",
                         help="aggregation window for time-series metrics "
@@ -519,13 +590,43 @@ def main(argv=None) -> int:
         jobs=args.jobs if args.jobs > 0 else None,
         cache_dir=cache_dir,
         progress=progress_log.info if args.progress else None)
+
+    # Observability: --events-out / --prom-out install an event bus as
+    # the process-current bus for the duration of the command, so the
+    # executor, the campaign engine, and the snapshot manager all
+    # publish to it without any of them knowing about the CLI.
+    bus = sink = exporter = None
+    if args.events_out or args.prom_out:
+        from ..obsv import (EventBus, JsonlSink, MetricsRegistry,
+                            TextfileExporter, bus_scope)
+        bus = EventBus()
+        if args.events_out:
+            sink = JsonlSink(args.events_out)
+            bus.subscribe(sink)
+        if args.prom_out:
+            registry = MetricsRegistry()
+            bus.registry = registry
+            bus.subscribe(registry.observe_event)
+            exporter = TextfileExporter(registry, args.prom_out)
+            bus.subscribe(exporter.on_event)
+    scope = (bus_scope(bus) if bus is not None
+             else contextlib.nullcontext())
     try:
-        status = COMMANDS[args.experiment](args)
+        with scope:
+            status = COMMANDS[args.experiment](args)
     except ValueError as exc:
         # Bad spec inputs (unknown design/benchmark, config mismatch)
         # are user errors, not crashes.
         log.error("%s", exc)
         return 2
+    finally:
+        if exporter is not None:
+            exporter.write()
+            log.info("metrics exposition written to %s", args.prom_out)
+        if sink is not None:
+            sink.close()
+            log.info("%d events written to %s", sink.written,
+                     args.events_out)
     return status or 0
 
 

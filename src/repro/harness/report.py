@@ -77,11 +77,14 @@ def sparkline(values: Sequence[float], width: int = 60) -> str:
     """Render a numeric series as a fixed-width unicode sparkline.
 
     Longer series are downsampled by averaging equal chunks; shorter
-    ones render one tick per value.  A flat (or empty) series renders
-    as the lowest tick so the line length still reflects the data."""
+    ones render one tick per value.  An empty series renders as the
+    empty string, a flat one as the lowest tick (so the line length
+    still reflects the data), and a non-positive ``width`` is clamped
+    to one tick -- no input may crash a progress display."""
     values = [float(v) for v in values]
     if not values:
         return ""
+    width = max(1, width)
     if len(values) > width:
         chunked = []
         for i in range(width):
@@ -127,6 +130,13 @@ def format_timeseries(timeseries: Dict, title: str,
         if evicted:
             note += f" (+{evicted} evicted)"
         lines.append(f"{name:<{name_width}}{spark}  {note}")
+    total_evicted = sum(series.get("evicted_windows", 0)
+                        for series in timeseries["series"].values())
+    if total_evicted:
+        lines.append(f"ring buffer: {total_evicted} windows evicted "
+                     f"across {len(timeseries['series'])} series "
+                     f"(oldest dropped; raise window_cycles or the "
+                     f"ring size to keep them)")
     return "\n".join(lines)
 
 

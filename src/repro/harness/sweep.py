@@ -21,6 +21,17 @@ Per-spec wall-clock timing and cache provenance land in
 ``SimResult.stats["executor"]``; that section is host-specific and is
 deliberately excluded from ``SimResult.to_dict()`` so serialised
 results stay deterministic.
+
+Observability: every sweep narrates itself onto the current
+:mod:`repro.obsv.bus` -- ``sweep_start``, ``cache_hit``/``cache_miss``,
+``spec_start`` (worker-side), ``spec_finish``/``spec_error``
+(authoritative, parent-side), ``sweep_finish`` -- and the legacy
+``progress`` string callback is now a thin adapter over those same
+events.  Workers reach the parent's bus through a multiprocessing
+queue installed by the pool initializer (fork start-method only); the
+parent drains and merges, so the log stays a single ordered stream.
+Events are wall-clock-side bookkeeping: an enabled bus leaves every
+``SimResult`` payload bit-identical.
 """
 
 from __future__ import annotations
@@ -47,9 +58,17 @@ from typing import (
 )
 
 from ..config import SystemConfig
+from ..obsv.bus import (
+    Bus,
+    EventBus,
+    QueueEmitter,
+    drain_queue,
+    get_bus,
+    set_bus,
+)
 from ..persistency import design_by_name
 from ..system import RESULT_SCHEMA_VERSION, SimResult, build_system
-from ..telemetry import get_logger
+from ..telemetry import current_context, get_logger, run_context, seed_context
 from ..workloads import (
     BENCHMARKS,
     LoadMisspecProbe,
@@ -466,11 +485,24 @@ def fork_warm_starts(base: RunSpec, variants: Sequence[RunSpec],
 _execute_spec = execute_spec
 
 
+def _pool_initializer(queue, context_fields: Dict[str, str]) -> None:
+    """Runs once in each pool worker: install a queue-backed bus and
+    the parent's run context, so events (and log records) emitted deep
+    inside a worker carry the parent's correlation IDs.  Only wired up
+    under the ``fork`` start method (queue inheritance)."""
+    if queue is not None:
+        set_bus(QueueEmitter(queue))
+    seed_context(context_fields)
+
+
 def _pool_worker(item: Tuple[int, RunSpec]):
     index, spec = item
     start = time.perf_counter()
     try:
-        result = _execute_spec(spec)
+        with run_context(spec_hash=spec.cache_key()[:12]):
+            get_bus().emit("spec_start", index=index,
+                           describe=spec.describe())
+            result = _execute_spec(spec)
         return index, "ok", result.to_dict(), time.perf_counter() - start
     except Exception:
         return (index, "err", traceback.format_exc(),
@@ -481,10 +513,90 @@ def _map_worker(item: Tuple[int, Callable, object]):
     index, fn, arg = item
     start = time.perf_counter()
     try:
+        get_bus().emit("task_start", index=index, label=f"item {index}")
         return index, "ok", fn(arg), time.perf_counter() - start
     except Exception:
         return (index, "err", traceback.format_exc(),
                 time.perf_counter() - start)
+
+
+def _pool_channel(context, ship: bool):
+    """(queue, initializer, initargs) for a pool: a real event channel
+    when ``ship`` is on and the platform forks workers (queue
+    inheritance needs fork); an inert initializer otherwise, so the
+    worker still gets the parent's run context."""
+    queue = None
+    if ship and context.get_start_method() == "fork":
+        queue = context.Queue()
+    return queue, _pool_initializer, (queue, current_context())
+
+
+class _ProgressAdapter:
+    """Backward-compat shim: turns ``spec_finish``/``spec_error`` (and
+    ``task_*``) events back into the legacy one-line-per-item progress
+    strings, so existing ``progress=callable`` users see the exact
+    output they always did -- the callback is now just another bus
+    subscriber."""
+
+    _HOW = {"cache": "cached", "retry": "serial retry",
+            "degraded": "serial (no pool)"}
+
+    def __init__(self, callback: Callable[[str], None], total: int,
+                 describe: Optional[Callable[[int], str]] = None):
+        self.callback = callback
+        self.total = total
+        self.describe = describe
+        self.done = 0
+
+    def __call__(self, event: Dict) -> None:
+        kind = event.get("kind")
+        if kind in ("spec_finish", "task_finish"):
+            how = (self._HOW.get(event.get("source"))
+                   or f"{event.get('elapsed_s', 0.0):.1f}s")
+        elif kind in ("spec_error", "task_error"):
+            how = "error"
+        else:
+            return
+        self.done += 1
+        label = event.get("describe") or event.get("label") or ""
+        self.callback(f"[{self.done}/{self.total}] {label} ({how})")
+
+
+class _SweepTally:
+    """Bus subscriber accumulating the end-of-sweep statistics (cache
+    provenance, retries, per-spec wall time) from the event stream
+    itself -- the summary line and ``SweepResult.stats`` report what
+    the events say, not a parallel set of hand-kept counters."""
+
+    def __init__(self):
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.retries = 0
+        self.errors = 0
+        self.busy_s = 0.0
+        self.spec_walls: List[float] = []
+
+    def __call__(self, event: Dict) -> None:
+        kind = event.get("kind")
+        if kind == "cache_hit":
+            self.cache_hits += 1
+        elif kind == "cache_miss":
+            self.cache_misses += 1
+        elif kind in ("spec_finish", "task_finish"):
+            elapsed = float(event.get("elapsed_s") or 0.0)
+            if not event.get("cache_hit"):
+                self.busy_s += elapsed
+                self.spec_walls.append(elapsed)
+            if event.get("retried"):
+                self.retries += 1
+        elif kind in ("spec_error", "task_error"):
+            self.errors += 1
+
+    def wall_mean_max(self) -> Tuple[float, float]:
+        if not self.spec_walls:
+            return 0.0, 0.0
+        return (sum(self.spec_walls) / len(self.spec_walls),
+                max(self.spec_walls))
 
 
 #: Distinguishes "no result yet" from a legitimate ``None`` result in
@@ -498,16 +610,35 @@ class ParallelExecutor:
     ``jobs`` is the worker-process count (``None`` = ``os.cpu_count()``,
     ``1`` = in-process serial).  ``cache_dir`` enables the per-spec
     result cache (``None`` disables it).  ``progress`` is an optional
-    ``callable(str)`` invoked once per completed spec.
+    ``callable(str)`` invoked once per completed spec -- implemented as
+    a subscription on the event bus (see :class:`_ProgressAdapter`).
+    ``bus`` pins the event bus this executor publishes to; the default
+    resolves :func:`repro.obsv.bus.get_bus` at each ``run()``/``map()``
+    so the CLI's ``--events-out`` scope is picked up automatically.
     """
 
     def __init__(self, jobs: Optional[int] = 1,
                  cache_dir: Optional[str] = None,
-                 progress: Optional[Callable[[str], None]] = None):
+                 progress: Optional[Callable[[str], None]] = None,
+                 bus: Optional[Bus] = None):
         self.jobs = max(1, jobs if jobs is not None
                         else (os.cpu_count() or 1))
         self.cache_dir = cache_dir
         self.progress = progress
+        self.bus = bus
+
+    def _resolve_bus(self) -> Tuple[Bus, bool]:
+        """(bus to publish on, whether it is externally observed).
+
+        With no external bus the executor still runs a private
+        :class:`EventBus` so the progress adapter and the stats tally
+        are fed from real events; privately-generated events are
+        dropped at the end of the call (and no worker queue is set up).
+        """
+        bus = self.bus if self.bus is not None else get_bus()
+        if bus.enabled:
+            return bus, True
+        return EventBus(), False
 
     # ------------------------------------------------------------ cache
 
@@ -547,58 +678,94 @@ class ParallelExecutor:
         started = time.perf_counter()
         results: List[Optional[SimResult]] = [None] * len(specs)
         timings: List[Dict] = [dict() for _ in specs]
-        done = 0
+        bus, external = self._resolve_bus()
+        tally = _SweepTally()
+        adapter = (_ProgressAdapter(self.progress, len(specs))
+                   if self.progress is not None else None)
+        bus.subscribe(tally)
+        if adapter is not None:
+            bus.subscribe(adapter)
 
-        def note(index: int, how: str) -> None:
-            nonlocal done
-            done += 1
-            line = (f"[{done}/{len(specs)}] "
-                    f"{specs[index].describe()} ({how})")
-            log.debug("%s", line)
-            if self.progress is not None:
-                self.progress(line)
+        def finish(index: int, elapsed: float, cache_hit: bool,
+                   retried: bool, source: str) -> None:
+            """One authoritative parent-side spec_finish per spec."""
+            timings[index] = {"cache_hit": int(cache_hit),
+                              "elapsed_s": elapsed,
+                              "retried": int(retried)}
+            bus.emit(
+                "spec_finish", index=index,
+                describe=specs[index].describe(), elapsed_s=elapsed,
+                cache_hit=cache_hit, retried=retried, source=source,
+                cycles=(results[index].cycles
+                        if results[index] is not None else 0))
+            log.debug("%s done (%s, %.1fs)", specs[index].describe(),
+                      source, elapsed)
 
-        misses: List[int] = []
-        cache_hits = 0
-        for index, spec in enumerate(specs):
-            cached = self._cache_load(spec)
-            if cached is not None:
-                results[index] = cached
-                timings[index] = {"cache_hit": 1, "elapsed_s": 0.0,
-                                  "retried": 0}
-                cache_hits += 1
-                note(index, "cached")
+        try:
+            bus.emit("sweep_start", n_specs=len(specs), jobs=self.jobs)
+            misses: List[int] = []
+            for index, spec in enumerate(specs):
+                cached = self._cache_load(spec)
+                if cached is not None:
+                    results[index] = cached
+                    bus.emit("cache_hit", index=index,
+                             describe=spec.describe())
+                    finish(index, 0.0, True, False, "cache")
+                else:
+                    bus.emit("cache_miss", index=index,
+                             describe=spec.describe())
+                    misses.append(index)
+
+            if misses and self.jobs > 1 and len(misses) > 1:
+                self._run_pool(specs, misses, results, timings, bus,
+                               finish, ship=external)
             else:
-                misses.append(index)
+                for index in misses:
+                    spec = specs[index]
+                    start = time.perf_counter()
+                    bus.emit("spec_start", index=index,
+                             describe=spec.describe())
+                    try:
+                        results[index] = _execute_spec(spec)
+                    except Exception as exc:
+                        bus.emit("spec_error", index=index,
+                                 describe=spec.describe(),
+                                 error=str(exc))
+                        raise SweepError(spec, str(exc)) from exc
+                    self._cache_store(spec, results[index])
+                    finish(index, time.perf_counter() - start, False,
+                           False, "serial")
 
-        retries = 0
-        if misses and self.jobs > 1 and len(misses) > 1:
-            retries = self._run_pool(specs, misses, results, timings, note)
-        else:
-            for index in misses:
-                start = time.perf_counter()
-                try:
-                    results[index] = _execute_spec(specs[index])
-                except Exception as exc:
-                    raise SweepError(specs[index], str(exc)) from exc
-                timings[index] = {"cache_hit": 0,
-                                  "elapsed_s": time.perf_counter() - start,
-                                  "retried": 0}
-                self._cache_store(specs[index], results[index])
-                note(index, f"{timings[index]['elapsed_s']:.1f}s")
-
-        stats = {
-            "jobs": self.jobs,
-            "n_specs": len(specs),
-            "cache_hits": cache_hits,
-            "cache_misses": len(misses),
-            "retries": retries,
-            "elapsed_s": time.perf_counter() - started,
-        }
-        log.info(
-            "sweep done: %d specs in %.1fs (%d cached, %d simulated, "
-            "%d retried, jobs=%d)", len(specs), stats["elapsed_s"],
-            cache_hits, len(misses), retries, self.jobs)
+            elapsed = time.perf_counter() - started
+            # The summary -- both the stats dict and the log line --
+            # is derived from the event stream (the tally subscriber),
+            # so the events are the single source of truth.
+            stats = {
+                "jobs": self.jobs,
+                "n_specs": len(specs),
+                "cache_hits": tally.cache_hits,
+                "cache_misses": tally.cache_misses,
+                "retries": tally.retries,
+                "elapsed_s": elapsed,
+            }
+            bus.emit("sweep_finish", n_specs=len(specs),
+                     cache_hits=tally.cache_hits,
+                     cache_misses=tally.cache_misses,
+                     retries=tally.retries, elapsed_s=elapsed,
+                     busy_s=tally.busy_s, jobs=self.jobs)
+            wall_mean, wall_max = tally.wall_mean_max()
+            log.info(
+                "sweep done: %d specs in %.1fs (%d cached, %d simulated, "
+                "%d retried, jobs=%d, spec wall mean/max "
+                "%.1f/%.1fs)", len(specs), elapsed, tally.cache_hits,
+                tally.cache_misses, tally.retries, self.jobs,
+                wall_mean, wall_max)
+        finally:
+            bus.unsubscribe(tally)
+            if adapter is not None:
+                bus.unsubscribe(adapter)
+        if bus.registry is not None:
+            stats["obsv"] = bus.registry.snapshot()
         for index, result in enumerate(results):
             info = dict(timings[index])
             info["jobs"] = self.jobs
@@ -621,87 +788,116 @@ class ParallelExecutor:
         """
         items = list(items)
         results: List = [_UNSET] * len(items)
-        done = 0
+        bus, external = self._resolve_bus()
+        adapter = (_ProgressAdapter(self.progress, len(items))
+                   if self.progress is not None else None)
+        if adapter is not None:
+            bus.subscribe(adapter)
 
-        def note(index: int, how: str) -> None:
-            nonlocal done
-            done += 1
-            if self.progress is not None:
-                label = (describe(items[index]) if describe is not None
-                         else f"item {index}")
-                self.progress(f"[{done}/{len(items)}] {label} ({how})")
+        def label(index: int) -> str:
+            return (describe(items[index]) if describe is not None
+                    else f"item {index}")
 
-        def run_serial(index: int) -> None:
+        def finish(index: int, elapsed: float, source: str) -> None:
+            bus.emit("task_finish", index=index, label=label(index),
+                     elapsed_s=elapsed, source=source)
+
+        def run_serial(index: int, source: str = "serial") -> None:
             start = time.perf_counter()
             results[index] = fn(items[index])
-            note(index, f"{time.perf_counter() - start:.1f}s")
+            finish(index, time.perf_counter() - start, source)
 
-        if self.jobs > 1 and len(items) > 1:
-            work = [(index, fn, item) for index, item in enumerate(items)]
-            try:
-                context = multiprocessing.get_context()
-                with context.Pool(
-                        processes=min(self.jobs, len(work))) as pool:
-                    for index, status, payload, elapsed in \
-                            pool.imap_unordered(_map_worker, work):
-                        if status == "ok":
-                            results[index] = payload
-                            note(index, f"{elapsed:.1f}s")
-                            continue
-                        try:
-                            run_serial(index)
-                        except Exception as exc:
-                            raise RuntimeError(
-                                f"map item {index} failed twice: {exc}\n"
-                                f"--- worker traceback ---\n"
-                                f"{payload}") from exc
-            except OSError:
-                log.warning("no process pool available; map degrades "
-                            "to serial")
+        try:
+            if self.jobs > 1 and len(items) > 1:
+                work = [(index, fn, item)
+                        for index, item in enumerate(items)]
+                queue = None
+                try:
+                    context = multiprocessing.get_context()
+                    queue, initializer, initargs = _pool_channel(
+                        context, external)
+                    with context.Pool(
+                            processes=min(self.jobs, len(work)),
+                            initializer=initializer,
+                            initargs=initargs) as pool:
+                        for index, status, payload, elapsed in \
+                                pool.imap_unordered(_map_worker, work):
+                            drain_queue(queue, bus)
+                            if status == "ok":
+                                results[index] = payload
+                                finish(index, elapsed, "pool")
+                                continue
+                            try:
+                                run_serial(index, "retry")
+                            except Exception as exc:
+                                bus.emit("task_error", index=index,
+                                         label=label(index),
+                                         error=str(exc))
+                                raise RuntimeError(
+                                    f"map item {index} failed twice: "
+                                    f"{exc}\n"
+                                    f"--- worker traceback ---\n"
+                                    f"{payload}") from exc
+                except OSError:
+                    log.warning("no process pool available; map "
+                                "degrades to serial")
+                    for index in range(len(items)):
+                        if results[index] is _UNSET:
+                            run_serial(index, "degraded")
+                finally:
+                    drain_queue(queue, bus)
+            else:
                 for index in range(len(items)):
-                    if results[index] is _UNSET:
-                        run_serial(index)
-        else:
-            for index in range(len(items)):
-                run_serial(index)
+                    run_serial(index)
+        finally:
+            if adapter is not None:
+                bus.unsubscribe(adapter)
         return results
 
     def _run_pool(self, specs: Sequence[RunSpec], misses: Sequence[int],
                   results: List[Optional[SimResult]],
-                  timings: List[Dict], note) -> int:
-        """Fan the cache misses out over a process pool.  Returns the
-        number of specs that needed a serial retry."""
-        retries = 0
+                  timings: List[Dict], bus: Bus, finish,
+                  ship: bool = False) -> None:
+        """Fan the cache misses out over a process pool.
+
+        Worker-side events (``spec_start`` and anything emitted deeper)
+        travel back over a multiprocessing queue and are merged into
+        ``bus`` as results stream in; the authoritative ``spec_finish``
+        for each spec is emitted parent-side by ``finish``.
+        """
         work = [(index, specs[index]) for index in misses]
+        queue = None
         try:
             context = multiprocessing.get_context()
-            with context.Pool(processes=min(self.jobs, len(work))) as pool:
+            queue, initializer, initargs = _pool_channel(context, ship)
+            with context.Pool(processes=min(self.jobs, len(work)),
+                              initializer=initializer,
+                              initargs=initargs) as pool:
                 outcomes = pool.imap_unordered(_pool_worker, work)
                 for index, status, payload, elapsed in outcomes:
+                    drain_queue(queue, bus)
                     if status == "ok":
                         results[index] = SimResult.from_dict(payload)
-                        timings[index] = {"cache_hit": 0,
-                                          "elapsed_s": elapsed,
-                                          "retried": 0}
                         self._cache_store(specs[index], results[index])
-                        note(index, f"{elapsed:.1f}s")
+                        finish(index, elapsed, False, False, "pool")
                         continue
                     # Worker failed: retry serially in the parent so a
                     # flaky worker cannot sink the sweep; a second
                     # failure surfaces both tracebacks.
-                    retries += 1
                     start = time.perf_counter()
+                    bus.emit("spec_start", index=index,
+                             describe=specs[index].describe())
                     try:
                         results[index] = _execute_spec(specs[index])
                     except Exception as exc:
+                        bus.emit("spec_error", index=index,
+                                 describe=specs[index].describe(),
+                                 error=str(exc))
                         raise SweepError(specs[index], str(exc),
                                          worker_traceback=payload) from exc
-                    timings[index] = {
-                        "cache_hit": 0,
-                        "elapsed_s": time.perf_counter() - start,
-                        "retried": 1}
                     self._cache_store(specs[index], results[index])
-                    note(index, "serial retry")
+                    finish(index, time.perf_counter() - start, False,
+                           True, "retry")
         except OSError:
             # No process pool available (restricted environments):
             # degrade to serial for the whole remainder.
@@ -709,13 +905,17 @@ class ParallelExecutor:
                 if results[index] is not None:
                     continue
                 start = time.perf_counter()
+                bus.emit("spec_start", index=index,
+                         describe=specs[index].describe())
                 try:
                     results[index] = _execute_spec(specs[index])
                 except Exception as exc:
+                    bus.emit("spec_error", index=index,
+                             describe=specs[index].describe(),
+                             error=str(exc))
                     raise SweepError(specs[index], str(exc)) from exc
-                timings[index] = {"cache_hit": 0,
-                                  "elapsed_s": time.perf_counter() - start,
-                                  "retried": 0}
                 self._cache_store(specs[index], results[index])
-                note(index, "serial (no pool)")
-        return retries
+                finish(index, time.perf_counter() - start, False,
+                       False, "degraded")
+        finally:
+            drain_queue(queue, bus)

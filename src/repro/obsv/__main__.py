@@ -1,0 +1,49 @@
+"""Event-log validation CLI: ``python -m repro.obsv log.jsonl ...``
+
+Exit status 0 when every log parses and passes the schema check
+(envelope fields, schema version, known kinds, per-kind required
+fields, strictly increasing ``seq``); 1 otherwise.  CI's obsv-smoke
+job runs this against the logs its sweep and campaign produce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..telemetry import console
+from .bus import read_event_log, validate_event_log
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obsv",
+        description="validate repro event logs (JSON-Lines)")
+    parser.add_argument("logs", nargs="+", metavar="events.jsonl",
+                        help="event log files to validate")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only failures")
+    args = parser.parse_args(argv)
+
+    failed = 0
+    for path in args.logs:
+        problems = validate_event_log(path)
+        if problems:
+            failed += 1
+            console(f"INVALID {path}")
+            for problem in problems[:20]:
+                console(f"  {problem}")
+            if len(problems) > 20:
+                console(f"  ... and {len(problems) - 20} more")
+        elif not args.quiet:
+            try:
+                count = len(read_event_log(path))
+            except (OSError, ValueError):
+                count = 0
+            console(f"ok {path} ({count} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,305 @@
+"""Deterministic cycle attribution: where do simulated cycles go?
+
+Built on the PR 2 trace stream: a traced run's complete-spans describe
+when each component was busy (per-core FASE spans, persist-path
+store-issue->ring->WPQ-acceptance spans), and this module turns them
+into an **exclusive partition of the cycle axis** -- every cycle in
+``[0, total_cycles)`` is attributed to exactly one component, so the
+per-component totals *sum to the run's total cycles* (the property a
+flamegraph consumer assumes of collapsed stacks).
+
+Attribution rule
+----------------
+At any cycle several spans may be active (eight cores run in
+parallel; a persist span overlaps the FASE that issued it).  The cycle
+goes to the *most specific* active span by fixed priority::
+
+    pmc (WPQ admission wait) > persist-path (ring traversal)
+        > spec-buffer > core (FASE execution) > idle
+
+ties (same priority) break deterministically toward the
+latest-started, then latest-recorded span -- like a sampling profiler
+keeping the deepest frame.  The persist span's ``arrival``/``accept``
+args split it into its ring-traversal and WPQ-wait halves, which is
+exactly the per-durability-point attribution the Bento line of work
+needs to make flush/fence optimization passes measurable.
+
+Because the trace is deterministic (cycle-domain, seeded), the profile
+is too: same spec, same profile, bit for bit.
+
+Output
+------
+* :meth:`CycleProfile.collapsed` -- collapsed-stack lines
+  (``repro;core;core0;commit 1234``) consumable by
+  ``flamegraph.pl`` / speedscope / inferno.
+* :meth:`CycleProfile.table` -- terminal summary with per-component
+  cycles, share, and estimated wall time.
+* :meth:`CycleProfile.to_dict` -- JSON for artifacts.
+
+Non-exclusive *occupancy* (union of busy intervals per component,
+overlap allowed) is reported alongside, because "the persist path was
+busy 80% of the run" and "the persist path owned 12% of the cycles"
+answer different questions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..sim.trace import PHASE_COMPLETE, PHASE_INSTANT, TraceRecorder
+
+#: Attribution priority, most specific first.  ``idle`` is implicit
+#: (uncovered cycles).
+COMPONENT_PRIORITY = ("pmc", "persist-path", "spec-buffer", "core")
+IDLE = "idle"
+
+_PRIORITY_INDEX = {name: index
+                   for index, name in enumerate(COMPONENT_PRIORITY)}
+#: Priority for spans on tracks this module has no mapping for --
+#: below every known component, above idle.
+_OTHER_PRIORITY = len(COMPONENT_PRIORITY)
+
+ROOT = "repro"
+
+
+def _component_for(track: str, cat: str) -> Tuple[str, str]:
+    """(component, stack path under the root) for a span's track."""
+    if track == "persist-path":
+        return "persist-path", "persist-path"
+    if track == "pmc":
+        return "pmc", "pmc"
+    if track.startswith("spec-buffer"):
+        return "spec-buffer", "spec-buffer"
+    if cat == "fase" or track.startswith("core"):
+        return "core", f"core;{track}"
+    return track, track
+
+
+# Span tuple layout used by the sweep:
+#   (start, end, priority, stack, seq)
+_Span = Tuple[int, int, int, str, int]
+
+
+def _spans_from_events(events: Iterable[tuple],
+                       total_cycles: int) -> Tuple[List[_Span],
+                                                   Dict[str, int]]:
+    """Explode recorder events into attribution spans + instant counts.
+
+    Persist-path spans split at their ``arrival`` arg: issue->arrival
+    is ring traversal (``persist-path``), arrival->accept is WPQ
+    admission wait (``pmc``)."""
+    spans: List[_Span] = []
+    instants: Dict[str, int] = {}
+    seq = 0
+    for phase, track, name, cat, ts, dur, args in events:
+        if phase == PHASE_INSTANT:
+            component, _path = _component_for(track, cat)
+            instants[component] = instants.get(component, 0) + 1
+            continue
+        if phase != PHASE_COMPLETE:
+            continue
+        start = max(0, int(ts))
+        end = min(int(ts) + max(int(dur), 0), total_cycles)
+        if end <= start:
+            continue
+        component, path = _component_for(track, cat)
+        priority = _PRIORITY_INDEX.get(component, _OTHER_PRIORITY)
+        if component == "persist-path":
+            arrival = (args or {}).get("arrival")
+            if (isinstance(arrival, int)
+                    and start < arrival < end):
+                spans.append((start, arrival, priority,
+                              f"{path};ring", seq))
+                seq += 1
+                spans.append((arrival, end, _PRIORITY_INDEX["pmc"],
+                              "pmc;wpq-wait", seq))
+            else:
+                spans.append((start, end, priority, f"{path};ring",
+                              seq))
+        elif component == "core":
+            leaf = (args or {}).get("outcome") or name.split()[0]
+            spans.append((start, end, priority, f"{path};{leaf}", seq))
+        else:
+            spans.append((start, end, priority, f"{path};{name}", seq))
+        seq += 1
+    return spans, instants
+
+
+def _sweep(spans: List[_Span],
+           total_cycles: int) -> Dict[str, int]:
+    """Exclusive attribution via a boundary sweep.
+
+    Between two consecutive span boundaries the active set is
+    constant; the segment's cycles go to the active span with the best
+    ``(priority, -start, -seq)`` -- deterministic for any event order.
+    Uncovered segments accumulate under ``idle``.
+    """
+    stacks: Dict[str, int] = {}
+    if total_cycles <= 0:
+        return stacks
+    boundaries: List[Tuple[int, int, int]] = []  # (cycle, op, span_id)
+    for span_id, (start, end, _p, _s, _q) in enumerate(spans):
+        boundaries.append((start, 1, span_id))
+        boundaries.append((end, 0, span_id))
+    boundaries.sort()
+    active: Dict[int, _Span] = {}
+    cursor = 0
+    idle_cycles = 0
+
+    def charge(upto: int) -> None:
+        nonlocal cursor, idle_cycles
+        upto = min(upto, total_cycles)
+        if upto <= cursor:
+            return
+        length = upto - cursor
+        if active:
+            winner = min(
+                active.values(),
+                key=lambda span: (span[2], -span[0], -span[4]))
+            stacks[winner[3]] = stacks.get(winner[3], 0) + length
+        else:
+            idle_cycles += length
+        cursor = upto
+
+    for cycle, op, span_id in boundaries:
+        charge(cycle)
+        if op == 1:
+            active[span_id] = spans[span_id]
+        else:
+            active.pop(span_id, None)
+        if cursor >= total_cycles:
+            break
+    charge(total_cycles)
+    if idle_cycles:
+        stacks[IDLE] = stacks.get(IDLE, 0) + idle_cycles
+    return stacks
+
+
+def _occupancy(spans: List[_Span]) -> Dict[str, int]:
+    """Union of busy intervals per top-level component (overlap OK)."""
+    by_component: Dict[str, List[Tuple[int, int]]] = {}
+    for start, end, _priority, stack, _seq in spans:
+        component = stack.split(";", 1)[0]
+        by_component.setdefault(component, []).append((start, end))
+    union: Dict[str, int] = {}
+    for component, intervals in by_component.items():
+        intervals.sort()
+        covered = 0
+        open_start, open_end = intervals[0]
+        for start, end in intervals[1:]:
+            if start > open_end:
+                covered += open_end - open_start
+                open_start, open_end = start, end
+            else:
+                open_end = max(open_end, end)
+        covered += open_end - open_start
+        union[component] = covered
+    return union
+
+
+class CycleProfile:
+    """The attribution result for one run."""
+
+    def __init__(self, stacks: Dict[str, int], total_cycles: int,
+                 occupancy: Dict[str, int],
+                 instants: Dict[str, int],
+                 wall_s: Optional[float] = None,
+                 label: str = ""):
+        self.stacks = dict(stacks)
+        self.total_cycles = total_cycles
+        self.occupancy = dict(occupancy)
+        self.instants = dict(instants)
+        self.wall_s = wall_s
+        self.label = label
+
+    # ---------------------------------------------------------- queries
+
+    @property
+    def components(self) -> Dict[str, int]:
+        """Exclusive cycles per top-level component.  Sums exactly to
+        ``total_cycles`` (the partition property)."""
+        out: Dict[str, int] = {}
+        for stack, cycles in self.stacks.items():
+            component = stack.split(";", 1)[0]
+            out[component] = out.get(component, 0) + cycles
+        return out
+
+    def check_partition(self) -> None:
+        total = sum(self.stacks.values())
+        if total != self.total_cycles:
+            raise AssertionError(
+                f"attribution lost cycles: stacks sum to {total}, "
+                f"run has {self.total_cycles}")
+
+    # ----------------------------------------------------------- export
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text: ``root;frame;...;leaf cycles`` lines,
+        sorted for stable diffs.  Feed to flamegraph.pl / speedscope /
+        inferno."""
+        lines = [f"{ROOT};{stack} {cycles}"
+                 for stack, cycles in sorted(self.stacks.items())]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def save_collapsed(self, path: str) -> str:
+        with open(path, "w") as handle:
+            handle.write(self.collapsed())
+        return path
+
+    def table(self) -> str:
+        """Terminal summary, widest component first."""
+        title = (f"Cycle attribution: {self.label}" if self.label
+                 else "Cycle attribution")
+        header = (f"{'component':<16}{'cycles':>12}{'share':>9}"
+                  f"{'busy':>9}{'events':>9}"
+                  + (f"{'est wall':>11}" if self.wall_s else ""))
+        lines = [title, "=" * len(header), header, "-" * len(header)]
+        components = self.components
+        seen = set(components) | set(self.occupancy) | set(self.instants)
+        order = sorted(seen,
+                       key=lambda c: (-components.get(c, 0),
+                                      -self.occupancy.get(c, 0), c))
+        for component in order:
+            cycles = components.get(component, 0)
+            share = (cycles / self.total_cycles
+                     if self.total_cycles else 0.0)
+            busy = self.occupancy.get(component, 0)
+            busy_share = (busy / self.total_cycles
+                          if self.total_cycles else 0.0)
+            line = (f"{component:<16}{cycles:>12}{share:>8.1%}"
+                    f"{busy_share:>8.1%}"
+                    f"{self.instants.get(component, 0):>9}")
+            if self.wall_s:
+                line += f"{share * self.wall_s:>10.2f}s"
+            lines.append(line)
+        lines.append("-" * len(header))
+        lines.append(f"{'total':<16}{self.total_cycles:>12}"
+                     f"{1.0 if self.total_cycles else 0.0:>8.1%}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "label": self.label,
+            "total_cycles": self.total_cycles,
+            "wall_s": self.wall_s,
+            "components": self.components,
+            "occupancy": self.occupancy,
+            "instants": self.instants,
+            "stacks": dict(sorted(self.stacks.items())),
+        }
+
+
+def profile_run(recorder: TraceRecorder, total_cycles: int,
+                wall_s: Optional[float] = None,
+                label: str = "") -> CycleProfile:
+    """Attribute a traced run's cycles; the partition is checked
+    (``sum(stacks) == total_cycles``) before returning."""
+    spans, instants = _spans_from_events(recorder.events(),
+                                         total_cycles)
+    stacks = _sweep(spans, total_cycles)
+    profile = CycleProfile(stacks, total_cycles,
+                           occupancy=_occupancy(spans),
+                           instants=instants, wall_s=wall_s,
+                           label=label)
+    profile.check_partition()
+    return profile

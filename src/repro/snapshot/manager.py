@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..obsv.bus import get_bus
 from .store import SnapshotError, SnapshotStore
 
 SNAPSHOT_SCHEMA_VERSION = 1
@@ -163,6 +164,12 @@ class SnapshotLadder:
         if self.keep_in_memory or self.store is None:
             rung["payload"] = payload
         self.rungs.append(rung)
+        # Wall-side narration only: the capture itself (cycle, payload,
+        # fingerprint) is already done, so an enabled bus cannot
+        # perturb the rung.
+        bus = get_bus()
+        if bus.enabled:
+            bus.emit("rung_capture", cycle=rung["cycle"], rung=rung_no)
 
     def flush_index(self) -> None:
         """Persist the rung index (cycle -> object key) for this ladder."""
@@ -204,4 +211,10 @@ def restore_nearest(system, store: SnapshotStore, index_name: str,
         return None
     payload = store.get(rung["key"])
     system.restore_state(payload)
+    bus = get_bus()
+    if bus.enabled:
+        # How deep a warm start got: the distance crash_cycle -
+        # rung_cycle is the tail each trial still has to simulate.
+        bus.emit("snapshot_restore", crash_cycle=crash_cycle,
+                 rung_cycle=rung["cycle"], rung=rung["rung"])
     return rung

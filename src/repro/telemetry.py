@@ -26,7 +26,7 @@ from __future__ import annotations
 import contextlib
 import logging
 import sys
-from typing import Iterator, Optional
+from typing import Dict, Iterator, Optional
 
 ROOT_LOGGER = "repro"
 
@@ -54,6 +54,26 @@ class RunContextFilter(logging.Filter):
         record.run_id = _context["run_id"]
         record.spec_hash = _context["spec_hash"]
         return True
+
+
+def current_context() -> Dict[str, str]:
+    """A copy of the active run context (``run_id``/``spec_hash``).
+
+    The event bus stamps these onto every event as correlation IDs,
+    and the parallel executor ships them to pool workers so records
+    and events emitted *inside a worker process* carry the parent's
+    context."""
+    return dict(_context)
+
+
+def seed_context(fields: Dict[str, str]) -> None:
+    """Install ``fields`` as the base run context of this process.
+
+    For worker-process initializers only: unlike :func:`run_context`
+    it is not scoped, because a pool worker has no enclosing frame to
+    restore to -- the parent's context *is* its ambient context."""
+    _context.update({key: value for key, value in fields.items()
+                     if key in _context})
 
 
 @contextlib.contextmanager

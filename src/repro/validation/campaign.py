@@ -25,6 +25,7 @@ from dataclasses import asdict, dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..config import table3_config
+from ..obsv.bus import get_bus
 from ..persistency import design_by_name
 from ..runtime.crash import build_crash_system
 from ..runtime.recovery import run_recovery
@@ -303,6 +304,9 @@ class CampaignReport:
         self.params = params
         self.cells = cells
         self.elapsed_s = elapsed_s
+        # Aggregate-metrics snapshot from the run's MetricsRegistry
+        # (set by run_campaign when an observed bus is active).
+        self.obsv: Optional[Dict] = None
 
     @property
     def total_trials(self) -> int:
@@ -339,7 +343,7 @@ class CampaignReport:
         return rows
 
     def to_dict(self) -> Dict:
-        return {
+        payload = {
             "schema_version": self.schema_version,
             "params": self.params,
             "elapsed_s": self.elapsed_s,
@@ -349,6 +353,9 @@ class CampaignReport:
             "violation_kinds": self.violation_kinds(),
             "cells": self.cells,
         }
+        if self.obsv is not None:
+            payload["obsv"] = self.obsv
+        return payload
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -407,8 +414,12 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
     """
     started = time.perf_counter()
     planner_obj = planner_by_name(planner)
+    bus = get_bus()
     cells: List[Tuple[str, str]] = [
         (workload, design) for workload in workloads for design in designs]
+    bus.emit("campaign_start", workloads=list(workloads),
+             designs=list(designs), planner=planner, fault=fault,
+             budget=budget)
 
     def say(message: str) -> None:
         log.info("%s", message)
@@ -445,6 +456,8 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
     for workload, design in cells:
         profiles[(workload, design)] = profile_cell(
             base_spec(workload, design))
+        bus.emit("cell_profile", workload=workload, design=design,
+                 total_cycles=profiles[(workload, design)].total_cycles)
 
     # The adaptive planner wants a feedback round; the others spend
     # their whole budget at once.
@@ -469,11 +482,25 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
             specs.extend(replace(base_spec(workload, design),
                                  crash_cycle=cycle) for cycle in fresh)
         say(f"round {round_index + 1}/{rounds}: {len(specs)} trials")
+        bus.emit("round_start", round=round_index + 1, rounds=rounds,
+                 n_trials=len(specs))
         for spec, outcome in zip(specs, fan_out(specs)):
             cell = (spec.workload, spec.design)
             results[cell].append(outcome)
+            bus.emit("trial_finish", workload=spec.workload,
+                     design=spec.design, crash_cycle=spec.crash_cycle,
+                     consistent=outcome["consistent"],
+                     violations=len(outcome["violations"]),
+                     restored_from_cycle=outcome["restored_from_cycle"])
             if not outcome["consistent"]:
                 failures[cell].append(outcome)
+                for violation in outcome["violations"]:
+                    bus.emit("oracle_violation", workload=spec.workload,
+                             design=spec.design,
+                             crash_cycle=spec.crash_cycle,
+                             violation_kind=violation["kind"],
+                             cycle=violation.get("cycle",
+                                                 spec.crash_cycle))
 
     cell_reports: List[Dict] = []
     for workload, design in cells:
@@ -484,6 +511,10 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
         if shrink and cell_failures:
             shrink_payload = _shrink_cell(
                 base_spec(workload, design), cell_failures, say)
+            bus.emit("shrink_finish", workload=workload, design=design,
+                     earliest_cycle=cell_failures[0]["crash_cycle"],
+                     minimal_cycle=shrink_payload["minimal_cycle"],
+                     trials=shrink_payload.get("trials", 0))
         cell_reports.append({
             "workload": workload,
             "design": design,
@@ -516,6 +547,11 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
         cells=cell_reports,
         elapsed_s=time.perf_counter() - started,
     )
+    bus.emit("campaign_finish", cells=len(cells),
+             trials=report.total_trials, failures=report.total_failures,
+             consistent=report.consistent, elapsed_s=report.elapsed_s)
+    if bus.registry is not None:
+        report.obsv = bus.registry.snapshot()
     say(f"campaign done: {report!r}")
     return report
 

@@ -99,6 +99,24 @@ class TestSparkline:
     def test_short_series_one_tick_per_value(self):
         assert len(sparkline([1, 2], width=60)) == 2
 
+    def test_zero_width_clamped_not_crash(self):
+        # Regression: width=0 with a longer series used to chunk into
+        # an empty list and crash on min([]).
+        assert sparkline([1, 2, 3], width=0) == "▁"
+
+    def test_negative_width_clamped(self):
+        assert sparkline([5, 9], width=-3) == "▁"
+
+    def test_single_value(self):
+        assert sparkline([7.0]) == "▁"
+
+    def test_constant_long_series_no_zero_span_division(self):
+        out = sparkline([4.2] * 500, width=30)
+        assert out == "▁" * 30
+
+    def test_empty_with_zero_width(self):
+        assert sparkline([], width=0) == ""
+
 
 class TestFormatTimeseries:
     PAYLOAD = {
@@ -134,3 +152,22 @@ class TestFormatTimeseries:
             {"window_cycles": 10,
              "series": {"x": {"kind": "gauge", "windows": []}}}, "TS")
         assert "(empty)" in out
+
+    def test_constant_series_renders_flat(self):
+        out = format_timeseries(
+            {"window_cycles": 10,
+             "series": {"flat": {"kind": "gauge", "windows": [
+                 {"start": 0, "mean": 2.0}, {"start": 10, "mean": 2.0},
+             ]}}}, "TS")
+        assert "▁▁" in out
+        assert "min=2 max=2" in out
+
+    def test_aggregate_evicted_line(self):
+        out = format_timeseries(self.PAYLOAD, "TS")
+        assert "ring buffer: 2 windows evicted across 2 series" in out
+
+    def test_no_aggregate_line_without_evictions(self):
+        payload = {"window_cycles": 10, "series": {
+            "x": {"kind": "gauge", "evicted_windows": 0,
+                  "windows": [{"start": 0, "mean": 1.0}]}}}
+        assert "ring buffer" not in format_timeseries(payload, "TS")

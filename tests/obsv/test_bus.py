@@ -1,0 +1,228 @@
+"""Event bus: envelope stamping, ordering, merging, validation."""
+
+import json
+import queue
+
+import pytest
+
+from repro.obsv.bus import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    NULL_BUS,
+    EventBus,
+    JsonlSink,
+    NullBus,
+    QueueEmitter,
+    bus_scope,
+    drain_queue,
+    get_bus,
+    set_bus,
+    validate_event_log,
+    validate_events,
+)
+from repro.telemetry import run_context
+
+
+class TestEnvelope:
+    def test_emit_stamps_envelope(self):
+        bus = EventBus(clock=lambda: 123.0)
+        event = bus.emit("note", text="hello")
+        assert event["schema"] == EVENT_SCHEMA_VERSION
+        assert event["kind"] == "note"
+        assert event["seq"] == 0
+        assert event["ts"] == 123.0
+        assert event["run_id"] == "-" and event["spec_hash"] == "-"
+        assert isinstance(event["origin"], int)
+
+    def test_run_context_flows_into_events(self):
+        bus = EventBus()
+        with run_context(run_id="fig9", spec_hash="abc123"):
+            event = bus.emit("note", text="x")
+        assert event["run_id"] == "fig9"
+        assert event["spec_hash"] == "abc123"
+
+    def test_seq_strictly_increases(self):
+        bus = EventBus()
+        seqs = [bus.emit("note", text=str(i))["seq"] for i in range(5)]
+        assert seqs == [0, 1, 2, 3, 4]
+
+    def test_payload_fields_ride_along(self):
+        bus = EventBus()
+        event = bus.emit("sweep_start", n_specs=7, jobs=2)
+        assert event["n_specs"] == 7 and event["jobs"] == 2
+
+
+class TestSubscribers:
+    def test_fanout(self):
+        bus = EventBus()
+        seen_a, seen_b = [], []
+        bus.subscribe(seen_a.append)
+        bus.subscribe(seen_b.append)
+        bus.emit("note", text="x")
+        assert len(seen_a) == 1 and len(seen_b) == 1
+
+    def test_raising_subscriber_unsubscribed_not_fatal(self):
+        bus = EventBus()
+        seen = []
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe(bad)
+        bus.subscribe(seen.append)
+        bus.emit("note", text="1")
+        bus.emit("note", text="2")
+        # Both events reached the healthy subscriber; the bad one was
+        # dropped after its first failure rather than sinking the run.
+        assert [e["text"] for e in seen] == ["1", "2"]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.unsubscribe(seen.append)
+        bus.emit("note", text="x")
+        assert seen == []
+
+
+class TestNullBus:
+    def test_disabled_and_silent(self):
+        assert NullBus.enabled is False
+        assert NULL_BUS.emit("note", text="x") is None
+
+    def test_current_bus_defaults_to_null(self):
+        assert get_bus() is NULL_BUS
+
+    def test_bus_scope_installs_and_restores(self):
+        bus = EventBus()
+        with bus_scope(bus):
+            assert get_bus() is bus
+        assert get_bus() is NULL_BUS
+
+    def test_set_bus_none_restores_null(self):
+        bus = EventBus()
+        previous = set_bus(bus)
+        try:
+            assert get_bus() is bus
+        finally:
+            set_bus(previous)
+        assert get_bus() is NULL_BUS
+
+
+class TestQueueEmitterAndMerge:
+    def test_worker_events_merge_with_global_seq(self):
+        channel = queue.Queue()
+        worker = QueueEmitter(channel)
+        worker.emit("note", text="w0")
+        worker.emit("note", text="w1")
+        bus = EventBus()
+        bus.emit("note", text="p0")
+        merged = drain_queue(channel, bus)
+        assert merged == 2
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("note", text="p1")
+        # Global seq keeps increasing across parent + merged events.
+        assert seen[0]["seq"] == 3
+
+    def test_worker_seq_preserved(self):
+        channel = queue.Queue()
+        worker = QueueEmitter(channel)
+        worker.emit("note", text="a")
+        worker.emit("note", text="b")
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        drain_queue(channel, bus)
+        assert [e["worker_seq"] for e in seen] == [0, 1]
+
+    def test_drain_into_null_bus_is_noop(self):
+        channel = queue.Queue()
+        QueueEmitter(channel).emit("note", text="x")
+        assert drain_queue(channel, NULL_BUS) == 0
+
+    def test_drain_none_queue(self):
+        assert drain_queue(None, EventBus()) == 0
+
+
+class TestJsonlSink:
+    def test_round_trip_and_validation(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        bus = EventBus()
+        with JsonlSink(path) as sink:
+            bus.subscribe(sink)
+            bus.emit("sweep_start", n_specs=1, jobs=1)
+            bus.emit("spec_finish", index=0, describe="d", elapsed_s=0.1,
+                     cache_hit=False, retried=False, source="serial")
+            bus.emit("sweep_finish", n_specs=1, cache_hits=0,
+                     cache_misses=1, retries=0, elapsed_s=0.1)
+        assert sink.written == 3
+        assert validate_event_log(path) == []
+        lines = open(path).read().splitlines()
+        assert [json.loads(line)["kind"] for line in lines] == [
+            "sweep_start", "spec_finish", "sweep_finish"]
+
+    def test_write_after_close_is_noop(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "e.jsonl"))
+        sink.close()
+        sink({"kind": "note"})  # must not raise
+        assert sink.written == 0
+
+
+class TestValidation:
+    def good(self, **overrides):
+        event = {"schema": EVENT_SCHEMA_VERSION, "seq": 0, "ts": 1.0,
+                 "kind": "note", "text": "x", "run_id": "-",
+                 "spec_hash": "-", "origin": 1}
+        event.update(overrides)
+        return event
+
+    def test_valid_stream(self):
+        events = [self.good(), self.good(seq=1), self.good(seq=5)]
+        assert validate_events(events) == []
+
+    def test_unknown_kind(self):
+        problems = validate_events([self.good(kind="nope")])
+        assert any("unknown kind" in p for p in problems)
+
+    def test_missing_required_payload_field(self):
+        event = self.good(kind="sweep_start", n_specs=3)  # jobs missing
+        problems = validate_events([event])
+        assert any("missing field 'jobs'" in p for p in problems)
+
+    def test_every_declared_kind_is_checkable(self):
+        for kind, fields in EVENT_KINDS.items():
+            event = self.good(kind=kind)
+            event.pop("text", None)
+            event.update({name: 0 for name in fields})
+            assert validate_events([event]) == []
+
+    def test_non_increasing_seq_flagged(self):
+        problems = validate_events([self.good(seq=4), self.good(seq=4)])
+        assert any("not greater" in p for p in problems)
+
+    def test_wrong_schema_version(self):
+        problems = validate_events([self.good(schema=999)])
+        assert any("schema" in p for p in problems)
+
+    def test_missing_envelope_field(self):
+        event = self.good()
+        del event["origin"]
+        problems = validate_events([event])
+        assert any("origin" in p for p in problems)
+
+    def test_unparseable_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "note"\n')
+        problems = validate_event_log(str(path))
+        assert problems and "not valid JSON" in problems[0]
+
+    def test_missing_file(self, tmp_path):
+        problems = validate_event_log(str(tmp_path / "absent.jsonl"))
+        assert len(problems) == 1
+
+
+@pytest.fixture(autouse=True)
+def _restore_current_bus():
+    yield
+    set_bus(None)

@@ -1,0 +1,123 @@
+"""Observability is provably neutral: same simulation, watched or not.
+
+The acceptance property for the whole obsv stack: enabling the event
+bus, the metrics registry, the textfile exporter, and the JSONL sink
+must not change a single simulated bit -- SimResult payloads and
+snapshot fingerprints are compared byte for byte against an unobserved
+run.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import ParallelExecutor, RunSpec
+from repro.obsv.bus import EventBus, JsonlSink, bus_scope, set_bus
+from repro.obsv.registry import MetricsRegistry, TextfileExporter
+from repro.snapshot import SnapshotLadder
+from repro.validation.campaign import (
+    BENCHMARKS,
+    build_crash_system,
+    run_campaign,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_current_bus():
+    yield
+    set_bus(None)
+
+
+def observed_bus(tmp_path, tag):
+    """A fully-loaded bus: sink + registry + exporter, like the CLI."""
+    bus = EventBus()
+    sink = JsonlSink(str(tmp_path / f"{tag}-events.jsonl"))
+    bus.subscribe(sink)
+    registry = MetricsRegistry()
+    bus.registry = registry
+    bus.subscribe(registry.observe_event)
+    exporter = TextfileExporter(registry,
+                                str(tmp_path / f"{tag}.prom"),
+                                every_s=0.0)
+    bus.subscribe(exporter.on_event)
+    return bus
+
+
+def sim_payloads(outcome):
+    """Deterministic serialisation of every result, with the
+    host-specific executor section (wall-clock timings) dropped."""
+    payloads = []
+    for result in outcome.results:
+        payload = result.to_dict()
+        payload["stats"] = {k: v for k, v in payload["stats"].items()
+                            if k != "executor"}
+        payloads.append(json.dumps(payload, sort_keys=True))
+    return payloads
+
+
+SPECS = [RunSpec(benchmark="queue", design="PMEM-Spec", n_threads=2,
+                 fases_per_thread=2, seed=7),
+         RunSpec(benchmark="array_swaps", design="IntelX86",
+                 n_threads=2, fases_per_thread=2, seed=7)]
+
+
+class TestSweepNeutrality:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_results_bit_identical_with_full_observability(
+            self, tmp_path, jobs):
+        plain = ParallelExecutor(jobs=jobs).run(SPECS)
+        bus = observed_bus(tmp_path, "sweep")
+        watched = ParallelExecutor(jobs=jobs, bus=bus).run(SPECS)
+        assert sim_payloads(watched) == sim_payloads(plain)
+
+    def test_current_bus_scope_neutral_too(self, tmp_path):
+        plain = ParallelExecutor(jobs=1).run(SPECS)
+        with bus_scope(observed_bus(tmp_path, "scope")):
+            watched = ParallelExecutor(jobs=1).run(SPECS)
+        assert sim_payloads(watched) == sim_payloads(plain)
+
+
+class TestSnapshotNeutrality:
+    def laddered(self, bus=None):
+        _workload, system = build_crash_system(
+            BENCHMARKS["queue"], "PMEM-Spec", 2, 5, seed=7)
+        ladder = SnapshotLadder(system, every=5,
+                                keep_in_memory=True).install()
+        if bus is not None:
+            with bus_scope(bus):
+                system.run()
+        else:
+            system.run()
+        return system, ladder
+
+    def test_rung_fingerprints_bit_identical(self, tmp_path):
+        plain_system, plain_ladder = self.laddered()
+        bus = observed_bus(tmp_path, "ladder")
+        watched_system, watched_ladder = self.laddered(bus)
+        assert plain_ladder.rungs, "no rungs captured; shrink `every`"
+        assert ([r["fingerprint"] for r in watched_ladder.rungs]
+                == [r["fingerprint"] for r in plain_ladder.rungs])
+        assert (watched_system.state_fingerprint()
+                == plain_system.state_fingerprint())
+        # And the bus really was live: rung captures were narrated.
+        assert bus.registry.counter(
+            "repro_rungs_captured_total").value() == len(
+                watched_ladder.rungs)
+
+
+class TestCampaignNeutrality:
+    def campaign(self, bus=None):
+        scope = bus_scope(bus) if bus is not None else None
+        kwargs = dict(workloads=["queue"], designs=["PMEM-Spec"],
+                      budget=6, seed=11, fases_per_thread=5,
+                      shrink=False)
+        if scope is not None:
+            with scope:
+                return run_campaign(**kwargs)
+        return run_campaign(**kwargs)
+
+    def test_report_rows_identical(self, tmp_path):
+        plain = self.campaign()
+        watched = self.campaign(observed_bus(tmp_path, "campaign"))
+        assert watched.rows() == plain.rows()
+        assert watched.obsv is not None and plain.obsv is None

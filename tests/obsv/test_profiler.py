@@ -1,0 +1,174 @@
+"""Cycle-attribution profiler: partition property, priorities, split."""
+
+import pytest
+
+from repro.harness import RunSpec, execute_spec
+from repro.obsv.profiler import CycleProfile, profile_run
+from repro.sim.trace import TraceRecorder
+
+
+def recorder_with(*spans, instants=()):
+    """Build a TraceRecorder holding the given complete-spans.
+
+    Each span is ``(track, name, ts, dur)`` or
+    ``(track, name, ts, dur, args)``."""
+    rec = TraceRecorder()
+    for span in spans:
+        track, name, ts, dur = span[:4]
+        args = span[4] if len(span) > 4 else None
+        rec.complete(track, name, ts, dur, args=args)
+    for track, name, ts in instants:
+        rec.instant(track, name, ts)
+    return rec
+
+
+class TestPartitionProperty:
+    def test_sums_to_total_cycles(self):
+        rec = recorder_with(("core0", "commit", 0, 40),
+                            ("persist-path", "store", 20, 30))
+        profile = profile_run(rec, total_cycles=100)
+        assert sum(profile.stacks.values()) == 100
+        profile.check_partition()  # must not raise
+
+    def test_empty_trace_is_all_idle(self):
+        profile = profile_run(TraceRecorder(), total_cycles=50)
+        assert profile.stacks == {"idle": 50}
+        assert profile.components == {"idle": 50}
+
+    def test_zero_cycles(self):
+        profile = profile_run(TraceRecorder(), total_cycles=0)
+        assert profile.stacks == {}
+        profile.check_partition()
+
+    def test_spans_clamped_to_run_length(self):
+        # Span runs past the end of the run; attribution must not.
+        rec = recorder_with(("core0", "commit", 90, 50))
+        profile = profile_run(rec, total_cycles=100)
+        assert sum(profile.stacks.values()) == 100
+        assert profile.components["core"] == 10
+
+    def test_check_partition_raises_on_loss(self):
+        profile = CycleProfile({"core;core0;x": 5}, total_cycles=10,
+                               occupancy={}, instants={})
+        with pytest.raises(AssertionError):
+            profile.check_partition()
+
+
+class TestPriority:
+    def test_persist_path_beats_core(self):
+        rec = recorder_with(("core0", "commit", 0, 100),
+                            ("persist-path", "store", 40, 20))
+        profile = profile_run(rec, total_cycles=100)
+        assert profile.components["persist-path"] == 20
+        assert profile.components["core"] == 80
+
+    def test_spec_buffer_between_core_and_persist(self):
+        rec = recorder_with(("core0", "commit", 0, 100),
+                            ("spec-buffer0", "drain", 0, 100),
+                            ("persist-path", "store", 0, 10))
+        profile = profile_run(rec, total_cycles=100)
+        assert profile.components["persist-path"] == 10
+        assert profile.components["spec-buffer"] == 90
+        assert "core" not in profile.components
+
+    def test_overlapping_cores_tie_break_deterministic(self):
+        # Same priority: latest-started span wins the overlap.
+        rec = recorder_with(("core0", "a", 0, 100),
+                            ("core1", "b", 50, 50))
+        profile = profile_run(rec, total_cycles=100)
+        assert profile.stacks["core;core0;a"] == 50
+        assert profile.stacks["core;core1;b"] == 50
+
+    def test_idle_fills_gaps(self):
+        rec = recorder_with(("core0", "a", 10, 10),
+                            ("core0", "b", 80, 10))
+        profile = profile_run(rec, total_cycles=100)
+        assert profile.components["idle"] == 80
+
+
+class TestPersistSplit:
+    def test_split_at_arrival(self):
+        rec = recorder_with(
+            ("persist-path", "store 0x10", 100, 50,
+             {"arrival": 130, "accept": 150}))
+        profile = profile_run(rec, total_cycles=200)
+        assert profile.stacks["persist-path;ring"] == 30
+        assert profile.stacks["pmc;wpq-wait"] == 20
+        assert profile.components["pmc"] == 20
+
+    def test_no_split_when_arrival_equals_end(self):
+        # Immediate WPQ accept: the whole span is ring traversal.
+        rec = recorder_with(
+            ("persist-path", "store 0x10", 100, 50,
+             {"arrival": 150, "accept": 150}))
+        profile = profile_run(rec, total_cycles=200)
+        assert profile.stacks["persist-path;ring"] == 50
+        assert "pmc;wpq-wait" not in profile.stacks
+
+
+class TestOutputs:
+    def test_collapsed_format_and_stability(self):
+        rec = recorder_with(("core0", "commit", 0, 10))
+        profile = profile_run(rec, total_cycles=20)
+        lines = profile.collapsed().splitlines()
+        assert sorted(lines) == lines
+        assert "repro;core;core0;commit 10" in lines
+        assert "repro;idle 10" in lines
+        # Every line parses as "stack cycles".
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+        assert total == 20
+
+    def test_save_collapsed(self, tmp_path):
+        rec = recorder_with(("core0", "commit", 0, 10))
+        profile = profile_run(rec, total_cycles=20)
+        path = str(tmp_path / "out.folded")
+        assert profile.save_collapsed(path) == path
+        assert open(path).read() == profile.collapsed()
+
+    def test_table_lists_instant_only_components(self):
+        rec = recorder_with(("core0", "commit", 0, 10),
+                            instants=[("pmc", "accept", 5)])
+        profile = profile_run(rec, total_cycles=10)
+        table = profile.table()
+        assert "pmc" in table
+        assert "core" in table
+
+    def test_occupancy_reports_overlap_union(self):
+        rec = recorder_with(("core0", "a", 0, 60),
+                            ("core1", "b", 40, 60))
+        profile = profile_run(rec, total_cycles=100)
+        # Union of [0,60) and [40,100) is the whole run.
+        assert profile.occupancy["core"] == 100
+
+    def test_to_dict_shape(self):
+        rec = recorder_with(("core0", "a", 0, 10))
+        profile = profile_run(rec, total_cycles=10, wall_s=0.5,
+                              label="x")
+        payload = profile.to_dict()
+        assert payload["total_cycles"] == 10
+        assert payload["wall_s"] == 0.5
+        assert payload["components"] == {"core": 10}
+        assert payload["stacks"] == {"core;core0;a": 10}
+
+
+class TestRealRun:
+    def test_real_traced_run_partitions(self):
+        spec = RunSpec(benchmark="queue", design="PMEM-Spec",
+                       n_threads=2, fases_per_thread=4, seed=7)
+        tracer = TraceRecorder()
+        result = execute_spec(spec, tracer=tracer)
+        profile = profile_run(tracer, result.cycles)
+        profile.check_partition()
+        assert sum(profile.components.values()) == result.cycles
+        assert profile.components.get("core", 0) > 0
+
+    def test_deterministic_bit_for_bit(self):
+        spec = RunSpec(benchmark="queue", design="PMEM-Spec",
+                       n_threads=2, fases_per_thread=4, seed=7)
+        outputs = []
+        for _ in range(2):
+            tracer = TraceRecorder()
+            result = execute_spec(spec, tracer=tracer)
+            outputs.append(
+                profile_run(tracer, result.cycles).collapsed())
+        assert outputs[0] == outputs[1]

@@ -1,0 +1,201 @@
+"""Metrics registry: families, exposition, event derivations."""
+
+import os
+
+import pytest
+
+from repro.obsv.bus import EventBus
+from repro.obsv.registry import (
+    DEPTH_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    TextfileExporter,
+    parse_prometheus_text,
+)
+
+
+class TestFamilies:
+    def test_counter_inc_and_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help").inc()
+        reg.counter("c").inc(2, labels={"kind": "x"})
+        text = reg.to_prometheus()
+        assert "# TYPE c counter" in text
+        assert "c 1" in text
+        assert 'c{kind="x"} 2' in text
+
+    def test_gauge_set(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(4.5)
+        assert parse_prometheus_text(reg.to_prometheus())["g"] == 4.5
+
+    def test_histogram_buckets_cumulative(self):
+        hist = Histogram("h", "help", buckets=(1, 10))
+        for value in (0.5, 5, 500):
+            hist.observe(value)
+        text = "\n".join(hist.exposition())
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="10"} 2' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_count 3" in text
+
+    def test_histogram_percentile_interpolates(self):
+        hist = Histogram("h", "help", buckets=DEPTH_BUCKETS)
+        for depth in (1, 2, 2, 3, 3, 3, 50, 100):
+            hist.observe(depth)
+        p50 = hist.percentile(50)
+        p99 = hist.percentile(99)
+        assert 1 <= p50 <= 4
+        assert p99 > p50
+
+    def test_type_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError):
+            reg.gauge("m")
+        with pytest.raises(ValueError):
+            reg.histogram("m")
+
+
+class TestEventDerivations:
+    def feed(self, reg, *events):
+        for event in events:
+            reg.observe_event(event)
+
+    def test_sweep_flow(self):
+        reg = MetricsRegistry()
+        self.feed(
+            reg,
+            {"kind": "sweep_start", "n_specs": 2, "jobs": 2, "ts": 0.0},
+            {"kind": "cache_miss"},
+            {"kind": "cache_miss"},
+            {"kind": "spec_finish", "source": "pool", "elapsed_s": 2.0,
+             "cache_hit": False, "retried": False, "cycles": 1_000_000},
+            {"kind": "spec_finish", "source": "retry", "elapsed_s": 1.0,
+             "cache_hit": False, "retried": True, "cycles": 500_000},
+            {"kind": "sweep_finish", "n_specs": 2, "cache_hits": 0,
+             "cache_misses": 2, "retries": 1, "elapsed_s": 2.0,
+             "busy_s": 3.0},
+        )
+        values = parse_prometheus_text(reg.to_prometheus())
+        assert values['repro_specs_total{source="pool"}'] == 1
+        assert values['repro_specs_total{source="retry"}'] == 1
+        assert values["repro_spec_retries_total"] == 1
+        assert values["repro_cache_misses_total"] == 2
+        assert values["repro_spec_seconds_count"] == 2
+        assert values["repro_engine_cycles_per_sec_count"] == 2
+        # busy 3.0s over 2.0s wall x 2 jobs = 0.75 utilization.
+        assert values["repro_worker_utilization"] == 0.75
+        assert values["repro_specs_per_sec"] == 1.0
+
+    def test_cache_hit_ratio_countable(self):
+        reg = MetricsRegistry()
+        self.feed(reg, {"kind": "cache_hit"}, {"kind": "cache_hit"},
+                  {"kind": "cache_miss"})
+        values = parse_prometheus_text(reg.to_prometheus())
+        hits = values["repro_cache_hits_total"]
+        misses = values["repro_cache_misses_total"]
+        assert hits / (hits + misses) == pytest.approx(2 / 3)
+
+    def test_trial_and_violation_flow(self):
+        reg = MetricsRegistry()
+        self.feed(
+            reg,
+            {"kind": "trial_finish", "consistent": True, "violations": 0},
+            {"kind": "trial_finish", "consistent": False,
+             "violations": 2},
+            {"kind": "oracle_violation", "violation_kind": "epoch-order"},
+            {"kind": "campaign_finish", "trials": 2, "elapsed_s": 4.0},
+        )
+        values = parse_prometheus_text(reg.to_prometheus())
+        assert values['repro_trials_total{consistent="true"}'] == 1
+        assert values['repro_trials_total{consistent="false"}'] == 1
+        assert values["repro_trial_violations_total"] == 2
+        assert (values['repro_oracle_violations_total'
+                       '{kind="epoch-order"}'] == 1)
+        assert values["repro_trials_per_sec"] == 0.5
+
+    def test_snapshot_flow(self):
+        reg = MetricsRegistry()
+        self.feed(
+            reg,
+            {"kind": "rung_capture", "cycle": 100, "rung": 0},
+            {"kind": "snapshot_restore", "crash_cycle": 900,
+             "rung_cycle": 800, "rung": 3},
+        )
+        values = parse_prometheus_text(reg.to_prometheus())
+        assert values["repro_rungs_captured_total"] == 1
+        assert values["repro_snapshot_restores_total"] == 1
+        assert values["repro_snapshot_restore_depth_cycles_count"] == 1
+
+    def test_wpq_depth_histogram(self):
+        reg = MetricsRegistry()
+        self.feed(reg, {"kind": "spec_finish", "source": "profile",
+                        "elapsed_s": 1.0, "cache_hit": False,
+                        "wpq_depth_means": [1.0, 3.0, 9.0]})
+        values = parse_prometheus_text(reg.to_prometheus())
+        assert values["repro_wpq_depth_count"] == 3
+
+    def test_unknown_kind_counts_events_only(self):
+        reg = MetricsRegistry()
+        reg.observe_event({"kind": "some_future_kind"})
+        values = parse_prometheus_text(reg.to_prometheus())
+        assert (values['repro_events_total{kind="some_future_kind"}']
+                == 1)
+
+    def test_half_filled_events_never_raise(self):
+        reg = MetricsRegistry()
+        for kind in ("sweep_start", "sweep_finish", "spec_finish",
+                     "trial_finish", "campaign_finish",
+                     "snapshot_restore", "oracle_violation"):
+            reg.observe_event({"kind": kind})
+
+
+class TestSnapshotAndParse:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total").inc(3)
+        reg.histogram("repro_y_seconds").observe(0.2)
+        snap = reg.snapshot()
+        assert snap["repro_x_total"]["type"] == "counter"
+        assert snap["repro_x_total"]["series"]["_"] == 3
+        y = snap["repro_y_seconds"]["series"]["_"]
+        assert y["count"] == 1
+        assert set(y) >= {"count", "sum", "p50", "p90", "p99"}
+
+    def test_parse_handles_inf_and_comments(self):
+        text = ("# HELP x y\n# TYPE x histogram\n"
+                'x_bucket{le="+Inf"} 3\nx_count 3\nx_sum 1.5\n')
+        values = parse_prometheus_text(text)
+        assert values['x_bucket{le="+Inf"}'] == 3
+        assert values["x_sum"] == 1.5
+
+
+class TestTextfileExporter:
+    def test_periodic_and_final_write(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        reg = MetricsRegistry()
+        bus = EventBus()
+        bus.subscribe(reg.observe_event)
+        exporter = TextfileExporter(reg, path, every_s=0.0)
+        bus.subscribe(exporter.on_event)
+        bus.emit("cache_miss", index=0, describe="d")
+        assert os.path.exists(path)
+        values = parse_prometheus_text(open(path).read())
+        assert values["repro_cache_misses_total"] == 1
+        # No stray tempfiles from the atomic write.
+        assert os.listdir(str(tmp_path)) == ["metrics.prom"]
+
+    def test_rate_limited(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        reg = MetricsRegistry()
+        exporter = TextfileExporter(reg, path, every_s=3600.0)
+        exporter.on_event({"kind": "note"})
+        first = open(path).read()
+        reg.counter("repro_late_total").inc()
+        exporter.on_event({"kind": "note"})
+        # Inside the rate window nothing is rewritten...
+        assert open(path).read() == first
+        exporter.write()
+        # ...but an explicit final write flushes everything.
+        assert "repro_late_total" in open(path).read()
