@@ -29,6 +29,7 @@ process if the default scheduler's cold throughput drops >20%)::
     PYTHONPATH=src python benchmarks/bench_engine.py --check BENCH_engine.json
 """
 
+import gc
 import json
 import os
 import sys
@@ -43,6 +44,7 @@ SCALE = float(os.environ.get("REPRO_BENCH_ENGINE_SCALE", "0.25"))
 N_THREADS = 8
 SEED = 42
 MIN_SPEEDUP = 5.0          # the PR's perf bar, vs LEGACY_BASELINE
+MIN_WARM_RATIO = 0.9       # warm pass must not trail cold by > 10%
 REGRESSION_TOLERANCE = 0.20
 
 #: Pre-overhaul engine on this same grid/methodology (heap scheduler,
@@ -87,6 +89,11 @@ def run_engine_bench() -> dict:
     identical = True
     for scheduler in sorted(SCHEDULERS):
         for temperature in ("cold", "warm"):
+            # Every pass starts from a settled heap: garbage left by the
+            # previous pass must not tax this pass's GC (the old
+            # warm-slower-than-cold inversion was exactly that, fed by a
+            # lowering-cache leak that grew the heap on every pass).
+            gc.collect()
             cycles, wall, outcomes = _run_grid(scheduler)
             passes[(scheduler, temperature)] = (cycles, wall)
             if reference is None:
@@ -134,6 +141,13 @@ def main(argv) -> int:
     if payload["speedup_vs_legacy"] < MIN_SPEEDUP:
         failures.append(
             f"speedup {payload['speedup_vs_legacy']}x < {MIN_SPEEDUP}x bar")
+    for scheduler, numbers in payload["schedulers"].items():
+        cold = numbers["cold_cycles_per_sec"]
+        warm = numbers["warm_cycles_per_sec"]
+        if warm < MIN_WARM_RATIO * cold:
+            failures.append(
+                f"{scheduler}: warm {warm} < {MIN_WARM_RATIO:.0%} of "
+                f"cold {cold} (state leaking across passes?)")
     if "--check" in argv:
         committed_path = argv[argv.index("--check") + 1]
         with open(committed_path) as handle:

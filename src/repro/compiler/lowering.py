@@ -32,7 +32,6 @@ flavors.
 
 from __future__ import annotations
 
-import weakref
 from typing import List, Sequence, Tuple
 
 from ..isa import (
@@ -355,10 +354,17 @@ def lower_rollback(writes, thread_id: int, flavor: str,
 # Lowering is a pure function of (program, flavor, log_mode), its
 # output is never mutated at runtime (machine ops are init-only value
 # objects), and campaign-style callers lower the *same* program once per
-# trial -- memoise per live program object.  Weak keys keep the cache
-# from pinning programs past their owners.
-_LOWERED_CACHE: "weakref.WeakKeyDictionary[Program, dict]" = \
-    weakref.WeakKeyDictionary()
+# trial -- memoise on the program instance so the memo lives exactly as
+# long as its program.  A module-level WeakKeyDictionary cannot do this:
+# the cached LoweredProgram holds a strong reference back to its key, so
+# the value pins the key and every program ever lowered (plus its whole
+# machine-op stream) stays reachable for the life of the process.
+_MEMO_ATTR = "_lowered_by_flavor"
+
+
+def clear_lowered_memo(program: Program) -> None:
+    """Drop ``program``'s lowering memo (test hook)."""
+    program.__dict__.pop(_MEMO_ATTR, None)
 
 
 def lower_program(program: Program, flavor: str,
@@ -371,7 +377,7 @@ def lower_program(program: Program, flavor: str,
     persisted epoch word can never reach and recovery would ignore its
     undo records.
     """
-    per_program = _LOWERED_CACHE.setdefault(program, {})
+    per_program = program.__dict__.setdefault(_MEMO_ATTR, {})
     cached = per_program.get((flavor, log_mode))
     if cached is not None:
         return cached

@@ -358,7 +358,8 @@ def cmd_validate(args) -> int:
                           if args.snapshot_every or args.snapshot_rungs
                           else None),
             snapshot_every=args.snapshot_every,
-            snapshot_rungs=args.snapshot_rungs)
+            snapshot_rungs=args.snapshot_rungs,
+            batch=args.batch)
     console(format_campaign_table(
         report.rows(),
         f"Crash-consistency campaign: fault={args.fault} "
@@ -574,6 +575,13 @@ def main(argv=None) -> int:
                         help="validate command: size each cell's ladder "
                              "to ~N rungs from a probe run instead of a "
                              "fixed --snapshot-every interval")
+    parser.add_argument("--batch", type=int, default=0, metavar="N",
+                        help="validate command: cell-affine batched "
+                             "execution -- ship up to N trials per "
+                             "(cell, chunk) task and serve them from a "
+                             "resident warm system per worker (0 = "
+                             "trial-at-a-time; outcomes are identical "
+                             "either way)")
     parser.add_argument("--log-level", default="info",
                         choices=("debug", "info", "warning", "error"),
                         help="diagnostic verbosity on stderr")

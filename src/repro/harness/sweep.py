@@ -520,6 +520,18 @@ def _map_worker(item: Tuple[int, Callable, object]):
                 time.perf_counter() - start)
 
 
+def _batch_worker(item: Tuple[int, Callable, list]):
+    index, fn, chunk = item
+    start = time.perf_counter()
+    try:
+        get_bus().emit("batch_start", index=index,
+                       label=f"batch {index}", size=len(chunk))
+        return index, "ok", fn(chunk), time.perf_counter() - start
+    except Exception:
+        return (index, "err", traceback.format_exc(),
+                time.perf_counter() - start)
+
+
 def _pool_channel(context, ship: bool):
     """(queue, initializer, initargs) for a pool: a real event channel
     when ``ship`` is on and the platform forks workers (queue
@@ -550,7 +562,7 @@ class _ProgressAdapter:
 
     def __call__(self, event: Dict) -> None:
         kind = event.get("kind")
-        if kind in ("spec_finish", "task_finish"):
+        if kind in ("spec_finish", "task_finish", "batch_finish"):
             how = (self._HOW.get(event.get("source"))
                    or f"{event.get('elapsed_s', 0.0):.1f}s")
         elif kind in ("spec_error", "task_error"):
@@ -849,6 +861,125 @@ class ParallelExecutor:
             else:
                 for index in range(len(items)):
                     run_serial(index)
+        finally:
+            if adapter is not None:
+                bus.unsubscribe(adapter)
+        return results
+
+    # ------------------------------------------------------ map_batched
+
+    def map_batched(self, fn: Callable, items: Sequence,
+                    key: Optional[Callable[[object], object]] = None,
+                    chunk_size: Optional[int] = None,
+                    describe: Optional[Callable[[Sequence], str]] = None
+                    ) -> List:
+        """Affinity-batched fan-out: one task per (group, chunk).
+
+        ``fn`` is a *batch* function: it receives a list of items and
+        must return a list of results of the same length, in order.
+        ``key`` groups items (all items with equal keys land in the
+        same chunks -- the campaign groups crash trials by cell so a
+        worker can keep the cell's system resident across the chunk);
+        ``chunk_size`` caps items per shipped task (``None``/``0``
+        ships each whole group as one task).  Results come back in the
+        original item order.
+
+        Pool conventions match :meth:`map` -- per-chunk serial retry in
+        the parent on a worker failure, OSError degradation to serial
+        -- but the bus carries one ``batch_start``/``batch_finish`` per
+        chunk instead of one ``task_*`` pair per item: collapsing the
+        per-item pickle round-trips into one per chunk is the point.
+        """
+        items = list(items)
+        groups: Dict[object, List[int]] = {}
+        for index, item in enumerate(items):
+            group = key(item) if key is not None else None
+            groups.setdefault(group, []).append(index)
+        batches: List[List[int]] = []
+        for indices in groups.values():
+            step = chunk_size or len(indices)
+            for start in range(0, len(indices), step):
+                batches.append(indices[start:start + step])
+        results: List = [_UNSET] * len(items)
+        bus, external = self._resolve_bus()
+        adapter = (_ProgressAdapter(self.progress, len(batches))
+                   if self.progress is not None else None)
+        if adapter is not None:
+            bus.subscribe(adapter)
+
+        def chunk_items(batch_index: int) -> list:
+            return [items[i] for i in batches[batch_index]]
+
+        def label(batch_index: int) -> str:
+            chunk = chunk_items(batch_index)
+            return (describe(chunk) if describe is not None
+                    else f"batch {batch_index} (x{len(chunk)})")
+
+        def install(batch_index: int, payload) -> None:
+            indices = batches[batch_index]
+            if (not isinstance(payload, (list, tuple))
+                    or len(payload) != len(indices)):
+                raise RuntimeError(
+                    f"batched fn returned "
+                    f"{len(payload) if hasattr(payload, '__len__') else payload!r} "
+                    f"result(s) for a {len(indices)}-item batch")
+            for index, value in zip(indices, payload):
+                results[index] = value
+
+        def finish(batch_index: int, elapsed: float, source: str) -> None:
+            bus.emit("batch_finish", index=batch_index,
+                     label=label(batch_index),
+                     size=len(batches[batch_index]), elapsed_s=elapsed,
+                     source=source)
+
+        def run_serial(batch_index: int, source: str = "serial") -> None:
+            start = time.perf_counter()
+            install(batch_index, fn(chunk_items(batch_index)))
+            finish(batch_index, time.perf_counter() - start, source)
+
+        try:
+            if self.jobs > 1 and len(batches) > 1:
+                work = [(batch_index, fn, chunk_items(batch_index))
+                        for batch_index in range(len(batches))]
+                queue = None
+                try:
+                    context = multiprocessing.get_context()
+                    queue, initializer, initargs = _pool_channel(
+                        context, external)
+                    with context.Pool(
+                            processes=min(self.jobs, len(work)),
+                            initializer=initializer,
+                            initargs=initargs) as pool:
+                        for batch_index, status, payload, elapsed in \
+                                pool.imap_unordered(_batch_worker, work):
+                            drain_queue(queue, bus)
+                            if status == "ok":
+                                install(batch_index, payload)
+                                finish(batch_index, elapsed, "pool")
+                                continue
+                            try:
+                                run_serial(batch_index, "retry")
+                            except Exception as exc:
+                                bus.emit("task_error", index=batch_index,
+                                         label=label(batch_index),
+                                         error=str(exc))
+                                raise RuntimeError(
+                                    f"batch {batch_index} failed twice: "
+                                    f"{exc}\n"
+                                    f"--- worker traceback ---\n"
+                                    f"{payload}") from exc
+                except OSError:
+                    log.warning("no process pool available; batched map "
+                                "degrades to serial")
+                    for batch_index in range(len(batches)):
+                        if any(results[i] is _UNSET
+                               for i in batches[batch_index]):
+                            run_serial(batch_index, "degraded")
+                finally:
+                    drain_queue(queue, bus)
+            else:
+                for batch_index in range(len(batches)):
+                    run_serial(batch_index)
         finally:
             if adapter is not None:
                 bus.unsubscribe(adapter)

@@ -70,6 +70,10 @@ EVENT_KINDS: Dict[str, tuple] = {
     "task_start": ("index", "label"),
     "task_finish": ("index", "label", "elapsed_s"),
     "task_error": ("index", "label", "error"),
+    # -- batched fan-out (ParallelExecutor.map_batched): one pair per
+    #    shipped (group, chunk) task rather than one per item.
+    "batch_start": ("index", "label", "size"),
+    "batch_finish": ("index", "label", "size", "elapsed_s"),
     # -- crash campaigns (repro.validation.campaign)
     "campaign_start": ("workloads", "designs", "planner", "fault",
                        "budget"),
@@ -85,6 +89,9 @@ EVENT_KINDS: Dict[str, tuple] = {
                       "minimal_cycle", "trials"),
     # -- snapshots (repro.snapshot.manager)
     "rung_capture": ("cycle", "rung"),
+    # Optional fields: ``source`` ("resident"|"store"|"cold") says
+    # where the restored payload came from; ``outcome="cold_fallback"``
+    # (+ ``error``) marks a restore that degraded to a cold start.
     "snapshot_restore": ("crash_cycle", "rung_cycle", "rung"),
     # -- free-form marker (CLI open/close notes)
     "note": ("text",),

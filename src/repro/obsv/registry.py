@@ -320,6 +320,20 @@ class MetricsRegistry:
                            "Wall time per fan-out task"
                            ).observe(float(elapsed))
 
+    def _on_batch_finish(self, event: Dict) -> None:
+        self.counter("repro_batches_total",
+                     "Completed affinity-batched fan-out chunks").inc()
+        size = event.get("size")
+        if size is not None:
+            self.histogram("repro_batch_size",
+                           "Items per shipped batch chunk",
+                           buckets=DEPTH_BUCKETS).observe(float(size))
+        elapsed = event.get("elapsed_s")
+        if elapsed is not None:
+            self.histogram("repro_batch_seconds",
+                           "Wall time per batch chunk"
+                           ).observe(float(elapsed))
+
     def _on_trial_finish(self, event: Dict) -> None:
         consistent = ("true" if event.get("consistent", True)
                       else "false")
@@ -348,8 +362,29 @@ class MetricsRegistry:
                        ).set(round(trials / elapsed, 4))
 
     def _on_snapshot_restore(self, event: Dict) -> None:
+        if event.get("outcome") == "cold_fallback":
+            # A restore that should have been warm degraded to a cold
+            # start (damaged store): silent performance loss, surfaced.
+            self.counter("repro_snapshot_cold_fallbacks_total",
+                         "Trials degraded to a cold start by snapshot "
+                         "damage").inc()
+            return
+        source = str(event.get("source", "store"))
         self.counter("repro_snapshot_restores_total",
-                     "Crash trials warm-started from a rung").inc()
+                     "Trial restores by payload source "
+                     "(resident LRU, store read, cold start)"
+                     ).inc(labels={"source": source})
+        total = sum(self.counter("repro_snapshot_restores_total")
+                    .series.values())
+        warm = sum(
+            value for labels, value in
+            self.counter("repro_snapshot_restores_total").series.items()
+            if dict(labels).get("source") != "cold")
+        if total:
+            self.gauge("repro_rung_cache_hit_ratio",
+                       "Warm restores served without rebuilding "
+                       "(resident + store) / all restores"
+                       ).set(round(warm / total, 4))
         rung_cycle = event.get("rung_cycle")
         if rung_cycle:
             self.histogram("repro_snapshot_restore_depth_cycles",

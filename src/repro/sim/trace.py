@@ -138,23 +138,31 @@ class TraceRecorder(Tracer):
     def __len__(self) -> int:
         return len(self._events)
 
-    def events(self) -> List[tuple]:
+    def events(self, start: int = 0) -> List[tuple]:
         """The buffered ``(phase, track, name, cat, ts, dur, args)``
         tuples in recording order -- the cycle-domain stream the
         validation oracle replays (:mod:`repro.validation.history`),
-        without the unit conversion ``to_dict`` applies for renderers."""
-        return list(self._events)
+        without the unit conversion ``to_dict`` applies for renderers.
+        ``start`` skips an already-processed prefix (a restored rung's
+        events) without copying it."""
+        return self._events[start:]
 
     def capture_state(self) -> Dict:
-        """The event prefix rides in snapshots (as plain lists) so a
-        restored trial's oracle sees the full history from cycle 0, not
-        just the replayed tail.  It is excluded from fingerprints."""
+        """The event prefix rides in snapshots so a restored trial's
+        oracle sees the full history from cycle 0, not just the
+        replayed tail.  It is excluded from fingerprints.  Rows stay
+        the recorder's own tuples: only the outer list is copied, which
+        keeps per-rung ladder captures O(events) pointer copies instead
+        of O(events x fields) row rebuilds."""
         return {"dropped": self.dropped,
-                "events": [list(item) for item in self._events],
+                "events": list(self._events),
                 "tracks": list(self._tracks.items())}
 
     def restore_state(self, state: Dict) -> None:
         self.dropped = state["dropped"]
+        # Rows may arrive as lists (an older store, or a JSON round
+        # trip); ``tuple()`` of a tuple returns the same object, so the
+        # common tuple-row case costs one pointer copy per row.
         self._events = [tuple(item) for item in state["events"]]
         self._tracks = {name: tid for name, tid in state["tracks"]}
 

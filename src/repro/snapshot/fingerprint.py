@@ -36,34 +36,128 @@ def _key_order(key: Any):
     raise FingerprintError(f"unsupported dict key {key!r} in captured state")
 
 
+def _all_plain_ints(items) -> bool:
+    # bool is an int subclass but encodes as T/F, so `type is int`
+    # exactly (not isinstance) guards the bulk paths below.
+    return all(type(item) is int for item in items)
+
+
+def _all_plain_strs(items) -> bool:
+    return all(type(item) is str for item in items)
+
+
+def _int_rows(obj, out: bytearray) -> bool:
+    """Bulk-emit a sequence of int-only tuples/lists (PM images, cache
+    tag arrays); False (emitting nothing) if any row doesn't conform."""
+    chunk = bytearray()
+    for item in obj:
+        if type(item) not in (tuple, list):
+            return False
+        if len(item) == 2:
+            first, second = item
+            if type(first) is int and type(second) is int:
+                chunk += b"l2:i%d;i%d;" % (first, second)
+                continue
+            return False
+        if not _all_plain_ints(item):
+            return False
+        chunk += b"l%d:" % len(item)
+        for value in item:
+            chunk += b"i%d;" % value
+    out += chunk
+    return True
+
+
 def _encode(obj: Any, out: bytearray) -> None:
+    # Captured states are overwhelmingly int-heavy (PM images, cache
+    # sets, per-address maps), and this encoder runs over the *entire*
+    # state at every rung capture -- so containers inline their leaf
+    # elements and bulk-emit int-only rows with C-speed joins instead
+    # of recursing once per element.  Output bytes are identical to the
+    # element-wise encoding either way.
     if obj is None:
         out += b"N"
     elif obj is True:
         out += b"T"
     elif obj is False:
         out += b"F"
+    elif isinstance(obj, (list, tuple)):
+        # Containers before leaves: by the time _encode recurses, the
+        # inlined paths below have already consumed most leaf values,
+        # so what reaches this ladder is overwhelmingly containers.
+        # Lists and tuples encode identically: a restored state may
+        # legitimately turn tuples into lists (JSON round trips do).
+        out += b"l%d:" % len(obj)
+        if obj:
+            head = type(obj[0])
+            if head is int:
+                if _all_plain_ints(obj):
+                    out += b"".join(b"i%d;" % item for item in obj)
+                    return
+            elif (head is tuple or head is list) and _int_rows(obj, out):
+                return
+        for item in obj:
+            kind = type(item)
+            if kind is int:
+                out += b"i%d;" % item
+            elif kind is str:
+                body = item.encode("utf-8")
+                out += b"s%d:" % len(body) + body
+            else:
+                _encode(item, out)
+    elif isinstance(obj, dict):
+        out += b"d%d:" % len(obj)
+        if _all_plain_ints(obj):
+            for key, value in sorted(obj.items()):
+                out += b"i%d;" % key
+                kind = type(value)
+                if kind is int:
+                    out += b"i%d;" % value
+                elif kind is str:
+                    body = value.encode("utf-8")
+                    out += b"s%d:" % len(body) + body
+                else:
+                    _encode(value, out)
+            return
+        if _all_plain_strs(obj):
+            # Keys are unique, so sorting (key, value) pairs compares
+            # keys only -- same order _key_order would give all-strs.
+            for key, value in sorted(obj.items()):
+                body = key.encode("utf-8")
+                out += b"s%d:" % len(body) + body
+                kind = type(value)
+                if kind is int:
+                    out += b"i%d;" % value
+                elif kind is str:
+                    body = value.encode("utf-8")
+                    out += b"s%d:" % len(body) + body
+                else:
+                    _encode(value, out)
+            return
+        for key in sorted(obj, key=_key_order):
+            if type(key) is str:
+                body = key.encode("utf-8")
+                out += b"s%d:" % len(body) + body
+            else:
+                out += b"i%d;" % key
+            value = obj[key]
+            kind = type(value)
+            if kind is int:
+                out += b"i%d;" % value
+            elif kind is str:
+                body = value.encode("utf-8")
+                out += b"s%d:" % len(body) + body
+            else:
+                _encode(value, out)
     elif isinstance(obj, int):
-        body = str(obj).encode()
-        out += b"i" + body + b";"
+        out += b"i%d;" % obj
     elif isinstance(obj, float):
         out += b"f" + obj.hex().encode() + b";"
     elif isinstance(obj, str):
         body = obj.encode("utf-8")
-        out += b"s" + str(len(body)).encode() + b":" + body
+        out += b"s%d:" % len(body) + body
     elif isinstance(obj, bytes):
-        out += b"b" + str(len(obj)).encode() + b":" + obj
-    elif isinstance(obj, (list, tuple)):
-        # Lists and tuples encode identically: a restored state may
-        # legitimately turn tuples into lists (JSON round trips do).
-        out += b"l" + str(len(obj)).encode() + b":"
-        for item in obj:
-            _encode(item, out)
-    elif isinstance(obj, dict):
-        out += b"d" + str(len(obj)).encode() + b":"
-        for key in sorted(obj, key=_key_order):
-            _encode(key, out)
-            _encode(obj[key], out)
+        out += b"b%d:" % len(obj) + obj
     else:
         raise FingerprintError(
             f"unsupported value {obj!r} ({type(obj).__name__}) "

@@ -215,6 +215,9 @@ def restore_nearest(system, store: SnapshotStore, index_name: str,
     if bus.enabled:
         # How deep a warm start got: the distance crash_cycle -
         # rung_cycle is the tail each trial still has to simulate.
+        # ``source`` says where the payload came from: here always the
+        # store (the resident path emits "resident"/"cold" itself).
         bus.emit("snapshot_restore", crash_cycle=crash_cycle,
-                 rung_cycle=rung["cycle"], rung=rung["rung"])
+                 rung_cycle=rung["cycle"], rung=rung["rung"],
+                 source="store")
     return rung

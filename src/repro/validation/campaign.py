@@ -21,6 +21,7 @@ import hashlib
 import json
 import random
 import time
+from collections import OrderedDict
 from dataclasses import asdict, dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -31,12 +32,13 @@ from ..runtime.crash import build_crash_system
 from ..runtime.recovery import run_recovery
 from ..sim.trace import TraceRecorder
 from ..snapshot import (SNAPSHOT_SCHEMA_VERSION, SnapshotError,
-                        SnapshotLadder, SnapshotStore, restore_nearest)
+                        SnapshotLadder, SnapshotStore, nearest_rung,
+                        restore_nearest)
 from ..telemetry import get_logger
 from ..workloads import BENCHMARKS
 from .faults import fault_by_name
-from .history import (FASE, PERSIST, WRITEBACK, history_from_recorder,
-                      truncate_history)
+from .history import (FASE, PERSIST, WRITEBACK, events_to_history,
+                      history_from_recorder, truncate_history)
 from .oracle import PersistOrderOracle
 from .planners import RunProfile, planner_by_name
 from .shrink import shrink_crash_cycle
@@ -123,11 +125,13 @@ def _built_program(spec: TrialSpec) -> Tuple[object, object]:
     return _PROGRAM_CACHE[key]
 
 
-def _build(spec: TrialSpec, capture: bool = False):
+def _build(spec: TrialSpec, capture: bool = False,
+           keep_rungs: bool = False):
     """Build the traced system for one trial, fault armed.  With a
     non-zero ``snapshot_every`` a ladder is installed: capturing for the
     canonical profile run, replay-only (identical parking, no capture)
-    for trials."""
+    for trials.  ``keep_rungs`` keeps each captured payload on its rung
+    dict so the campaign can seed the in-process rung cache."""
     fault = fault_by_name(spec.fault)
     recorder = TraceRecorder()
     config = table3_config(n_cores=spec.n_threads,
@@ -142,7 +146,8 @@ def _build(spec: TrialSpec, capture: bool = False):
                  if spec.snapshot_dir else None)
         ladder = SnapshotLadder(
             system, spec.snapshot_every, store=store,
-            index_name=_cell_index_name(spec), capture=capture).install()
+            index_name=_cell_index_name(spec), capture=capture,
+            keep_in_memory=keep_rungs).install()
     fault.arm(system)
     return workload, system, fault, recorder, ladder
 
@@ -165,26 +170,29 @@ def _oracle_for(system) -> PersistOrderOracle:
                            and overflows == 0))
 
 
-def run_trial(spec: TrialSpec) -> Dict:
-    """Execute one trial; returns a JSON-ready outcome dict.
+def _emit_cold_fallback(spec: TrialSpec, error: str) -> None:
+    """A restore that *should* have been warm degraded to a cold start:
+    surface it as a structured event, not just a log line, so campaigns
+    can see silent performance loss (a damaged store costs O(run) per
+    trial instead of O(segment))."""
+    bus = get_bus()
+    if bus.enabled:
+        bus.emit("snapshot_restore", crash_cycle=spec.crash_cycle,
+                 rung_cycle=None, rung=None, outcome="cold_fallback",
+                 error=error)
 
-    Module-level (not a closure) so :meth:`ParallelExecutor.map` can
-    ship it to pool workers.
-    """
-    workload, system, fault, recorder, ladder = _build(spec)
+
+def _execute_trial(spec: TrialSpec, workload, system, fault, recorder,
+                   restored_from: Optional[int],
+                   history_prefix: Optional[Tuple[int, list]] = None
+                   ) -> Dict:
+    """The trial body shared by the cold path (:func:`run_trial`) and
+    the resident path (:class:`_ResidentCell`): run to the crash, cut,
+    recover, judge.  The system arrives built (or restored), traced,
+    and fault-armed.  ``history_prefix`` is the resident path's
+    (event count, converted history) of the restored prefix, so only
+    the trial's own tail pays conversion."""
     env = system.env
-    restored_from = None
-    if ladder is not None and ladder.store is not None:
-        try:
-            rung = restore_nearest(system, ladder.store,
-                                   ladder.index_name, spec.crash_cycle)
-        except SnapshotError as exc:
-            # A corrupt or missing store degrades to a cold start: the
-            # trial's outcome must not depend on cache health.
-            log.warning("snapshot restore failed (%s); starting cold", exc)
-            rung = None
-        if rung is not None:
-            restored_from = rung["cycle"]
     all_done = system.launch()
     system.advance(until=spec.crash_cycle, stop_event=all_done)
     if env.now < spec.crash_cycle:
@@ -209,7 +217,12 @@ def run_trial(spec: TrialSpec) -> Dict:
          "subject": workload.name, "detail": message}
         for message in workload.validate_recovered(report.data_image())]
 
-    history = truncate_history(history_from_recorder(recorder), horizon)
+    if history_prefix is not None:
+        count, prefix = history_prefix
+        history = prefix + events_to_history(recorder.events(count))
+    else:
+        history = history_from_recorder(recorder)
+    history = truncate_history(history, horizon)
     violations.extend(v.to_dict() for v in _oracle_for(system).check(history))
 
     return {
@@ -226,13 +239,309 @@ def run_trial(spec: TrialSpec) -> Dict:
     }
 
 
+def run_trial(spec: TrialSpec) -> Dict:
+    """Execute one trial; returns a JSON-ready outcome dict.
+
+    Module-level (not a closure) so :meth:`ParallelExecutor.map` can
+    ship it to pool workers.
+    """
+    workload, system, fault, recorder, ladder = _build(spec)
+    restored_from = None
+    if ladder is not None and ladder.store is not None:
+        try:
+            rung = restore_nearest(system, ladder.store,
+                                   ladder.index_name, spec.crash_cycle)
+        except SnapshotError as exc:
+            # A corrupt or missing store degrades to a cold start: the
+            # trial's outcome must not depend on cache health.
+            log.warning("snapshot restore failed (%s); starting cold", exc)
+            _emit_cold_fallback(spec, str(exc))
+            rung = None
+        if rung is not None:
+            restored_from = rung["cycle"]
+    return _execute_trial(spec, workload, system, fault, recorder,
+                          restored_from)
+
+
+# ------------------------------------------------- resident batch path
+
+
+#: Rung payloads held deserialised per resident cell (each is one full
+#: machine state, a few hundred KiB for campaign-sized runs).
+_RESIDENT_RUNG_CAP = 64
+#: Cells held resident per worker process.  Campaign chunks are
+#: cell-affine, so a worker rarely juggles more than a couple.
+_RESIDENT_CELL_CAP = 4
+
+_RESIDENT_CELLS: "OrderedDict[Tuple[str, Optional[str]], _ResidentCell]" \
+    = OrderedDict()
+
+#: Rung payloads seeded straight from the canonical profile run's
+#: captures (batch mode only): (snapshot_dir, object key) -> payload.
+#: A batched campaign whose trials run in the process that profiled
+#: never re-reads a rung it just wrote -- no disk read, no unpickle.
+_CAPTURED_PAYLOADS: "OrderedDict[Tuple[Optional[str], str], Dict]" = \
+    OrderedDict()
+_CAPTURED_PAYLOAD_CAP = _RESIDENT_RUNG_CAP * _RESIDENT_CELL_CAP
+
+
+def _private_copy(value):
+    """Copy the dict/list skeleton of a live capture payload; leaves and
+    tuples are shared.
+
+    Component ``capture_state`` implementations build fresh containers,
+    but that is convention, not contract -- the skeleton copy makes a
+    seeded payload safe even against a capture that returns a live dict
+    or list the canonical run later mutates.  Tuples are shared because
+    the only captured tuples wrapping mutables are trace event rows,
+    whose ``args`` dicts are never written after recording (the same
+    sharing ``TraceRecorder.restore_state`` itself relies on).
+    """
+    kind = type(value)
+    if kind is dict:
+        return {key: _private_copy(item) for key, item in value.items()}
+    if kind is list:
+        return [_private_copy(item) for item in value]
+    return value
+
+
+def _seed_captured_rungs(spec: TrialSpec, ladder) -> None:
+    """Admit a canonical run's in-memory rung payloads to the seeded
+    cache, keyed exactly like the on-disk store the run also filled."""
+    if ladder is None or ladder.store is None:
+        return
+    for rung in ladder.rungs:
+        payload = rung.pop("payload", None)
+        if payload is None or "key" not in rung:
+            continue
+        _CAPTURED_PAYLOADS[(spec.snapshot_dir, rung["key"])] = \
+            _pre_tuple_events(_private_copy(payload))
+    while len(_CAPTURED_PAYLOADS) > _CAPTURED_PAYLOAD_CAP:
+        _CAPTURED_PAYLOADS.popitem(last=False)
+
+
+def _pre_tuple_events(payload: Dict) -> Dict:
+    """Convert trace event rows to tuples once, at cache-admission time.
+
+    ``Trace.restore_state`` re-tuples every event row on each restore;
+    ``tuple()`` of a tuple returns the same object, so a payload that is
+    restored many times (the whole point of a resident cell) pays the
+    per-row copy only once.  Safe to do in place: cached payloads are
+    private to the campaign machinery (``SnapshotStore.get`` unpickles a
+    fresh object per call; seeded payloads are skeleton-copied at
+    admission) and the canonical fingerprint encodes tuples and lists
+    identically.
+    """
+    for state in payload.get("components", {}).values():
+        if isinstance(state, dict):
+            events = state.get("events")
+            if events:
+                state["events"] = [tuple(item) for item in events]
+    return payload
+
+
+class _ResidentCell:
+    """One campaign cell kept resident in the worker process.
+
+    Built once per (cell, worker): the traced system, its pristine
+    cycle-0 payload, the cell's rung index, and an in-memory LRU of
+    *deserialised* rung payloads.  Each trial is then served by
+    ``restore_state`` into the resident system -- no rebuild, no disk
+    read, no unpickle for a hot rung -- which is safe because restore
+    fully resets every component (the same invariant the PR 4
+    restore-equivalence suite proves) and payload containers are always
+    copied on restore, never aliased.
+
+    Trial recipe mirrors :func:`run_trial` exactly: arm a fresh fault,
+    then restore (rung payload when one is at or before the crash
+    cycle, the cycle-0 payload otherwise), then the shared
+    :func:`_execute_trial` body.  Any snapshot damage degrades to the
+    cycle-0 restore -- the same cold-start semantics as the trial-at-a-
+    time path, with the same warning + ``cold_fallback`` event.
+    """
+
+    def __init__(self, spec: TrialSpec):
+        self.workload, self.system, _fault, self.recorder, ladder = \
+            _build(spec)
+        # Pre-launch the heap is empty and no generator is live, so the
+        # pristine capture is legal and exact.
+        self.initial = _pre_tuple_events(self.system.capture_state())
+        self.store = ladder.store if ladder is not None else None
+        self.index_name = ladder.index_name if ladder is not None else None
+        self._rungs: Optional[List[Dict]] = None
+        self._index_error: Optional[str] = None
+        self._payloads: "OrderedDict[str, dict]" = OrderedDict()
+        # key -> (n_prefix_events, converted HistoryEvents): the oracle
+        # history of a rung's event prefix, computed once per rung.
+        # HistoryEvent is frozen, so sharing one prefix list across
+        # trials is safe; concatenation is exact because
+        # events_to_history is a stateless per-event map.
+        self._history_prefixes: "OrderedDict[object, tuple]" = \
+            OrderedDict()
+        self.trials_served = 0
+        self.sources: Dict[str, int] = {"resident": 0, "store": 0,
+                                        "cold": 0}
+
+    def _rung_index(self) -> List[Dict]:
+        if self._rungs is None and self._index_error is None:
+            try:
+                self._rungs = self.store.load_index(self.index_name)
+            except SnapshotError as exc:
+                # Remember the failure: every trial of the batch falls
+                # back cold with the same warning the cold path logs.
+                self._index_error = str(exc)
+        return self._rungs or []
+
+    def _restore_payload(self, spec: TrialSpec
+                         ) -> Tuple[Optional[Dict], str]:
+        """(rung, source) for this trial's warm start; (None, "cold")
+        when the trial must start from cycle 0."""
+        if self.store is None:
+            return None, "cold"
+        rungs = self._rung_index()
+        if self._index_error is not None:
+            log.warning("snapshot restore failed (%s); starting cold",
+                        self._index_error)
+            _emit_cold_fallback(spec, self._index_error)
+            return None, "cold"
+        rung = nearest_rung(rungs, spec.crash_cycle)
+        if rung is None:
+            return None, "cold"
+        key = rung["key"]
+        payload = self._payloads.get(key)
+        if payload is not None:
+            self._payloads.move_to_end(key)
+            return {**rung, "payload": payload}, "resident"
+        # First touch: prefer the payload the profiling run seeded in
+        # this very process (zero re-read) over the store round trip.
+        payload = _CAPTURED_PAYLOADS.get((spec.snapshot_dir, key))
+        if payload is not None:
+            source = "resident"
+        else:
+            try:
+                payload = self.store.get(key)
+            except SnapshotError as exc:
+                log.warning("snapshot restore failed (%s); starting cold",
+                            exc)
+                _emit_cold_fallback(spec, str(exc))
+                return None, "cold"
+            payload = _pre_tuple_events(payload)
+            source = "store"
+        self._payloads[key] = payload
+        while len(self._payloads) > _RESIDENT_RUNG_CAP:
+            self._payloads.popitem(last=False)
+        return {**rung, "payload": payload}, source
+
+    def _history_prefix(self, key) -> Tuple[int, list]:
+        """(event count, converted history) of the just-restored prefix."""
+        prefix = self._history_prefixes.get(key)
+        count = len(self.recorder)
+        if prefix is not None and prefix[0] == count:
+            self._history_prefixes.move_to_end(key)
+            return prefix
+        prefix = (count, events_to_history(self.recorder.events()))
+        self._history_prefixes[key] = prefix
+        while len(self._history_prefixes) > _RESIDENT_RUNG_CAP + 1:
+            self._history_prefixes.popitem(last=False)
+        return prefix
+
+    def run_trial(self, spec: TrialSpec) -> Dict:
+        # Same order as _build + restore_nearest: arm, then restore.
+        fault = fault_by_name(spec.fault)
+        fault.arm(self.system)
+        rung, source = self._restore_payload(spec)
+        restored_from = None
+        if rung is not None:
+            self.system.restore_state(rung["payload"])
+            restored_from = rung["cycle"]
+        else:
+            self.system.restore_state(self.initial)
+        bus = get_bus()
+        if bus.enabled:
+            bus.emit("snapshot_restore", crash_cycle=spec.crash_cycle,
+                     rung_cycle=restored_from,
+                     rung=rung["rung"] if rung is not None else None,
+                     source=source)
+        self.sources[source] += 1
+        self.trials_served += 1
+        prefix = self._history_prefix(
+            rung["key"] if rung is not None else None)
+        return _execute_trial(spec, self.workload, self.system, fault,
+                              self.recorder, restored_from,
+                              history_prefix=prefix)
+
+
+def _resident_key(spec: TrialSpec) -> Tuple[str, Optional[str]]:
+    return _cell_index_name(spec), spec.snapshot_dir
+
+
+def _resident_cell(spec: TrialSpec) -> _ResidentCell:
+    key = _resident_key(spec)
+    cell = _RESIDENT_CELLS.get(key)
+    if cell is None:
+        cell = _ResidentCell(spec)
+        _RESIDENT_CELLS[key] = cell
+        while len(_RESIDENT_CELLS) > _RESIDENT_CELL_CAP:
+            _RESIDENT_CELLS.popitem(last=False)
+    else:
+        _RESIDENT_CELLS.move_to_end(key)
+    return cell
+
+
+def run_trial_batch(specs: Sequence[TrialSpec]) -> List[Dict]:
+    """Execute a chunk of trials against resident cells, in order.
+
+    Module-level so :meth:`ParallelExecutor.map_batched` can ship it to
+    pool workers; the resident cache is per process, so a worker that
+    receives several chunks of one cell builds its system exactly once.
+    Any :class:`SnapshotError` the resident machinery itself cannot
+    absorb evicts the cell and re-runs that trial through the plain
+    cold path -- outcomes never depend on cache health.
+    """
+    outcomes: List[Dict] = []
+    for spec in specs:
+        try:
+            outcomes.append(_resident_cell(spec).run_trial(spec))
+        except SnapshotError as exc:
+            _RESIDENT_CELLS.pop(_resident_key(spec), None)
+            log.warning("resident trial failed (%s); re-running cold",
+                        exc)
+            outcomes.append(run_trial(spec))
+    return outcomes
+
+
+def _batch_key(spec: TrialSpec) -> Tuple[str, str]:
+    return spec.workload, spec.design
+
+
+def _describe_batch(specs: Sequence[TrialSpec]) -> str:
+    first = specs[0]
+    return f"{first.workload}/{first.design} x{len(specs)}"
+
+
 def profile_cell(spec: TrialSpec) -> RunProfile:
     """Profile the uninterrupted run of one cell (fault still armed, so
     crash points land inside the *perturbed* run's duration).  With a
     snapshot store configured this is also the canonical run that fills
     the cell's rung ladder."""
+    return _profile_cell(spec)[0]
+
+
+def profile_cell_seeding(spec: TrialSpec) -> RunProfile:
+    """:func:`profile_cell`, additionally seeding this process's rung
+    cache with the payloads the canonical run just captured.  Batched
+    campaigns profile through this so trials that land in the profiling
+    process restore without ever re-reading the store."""
+    profile, ladder = _profile_cell(spec, keep_rungs=True)
+    _seed_captured_rungs(spec, ladder)
+    return profile
+
+
+def _profile_cell(spec: TrialSpec, keep_rungs: bool = False
+                  ) -> Tuple[RunProfile, Optional[SnapshotLadder]]:
     _workload, system, _fault, recorder, ladder = _build(
-        spec, capture=spec.snapshot_dir is not None)
+        spec, capture=spec.snapshot_dir is not None,
+        keep_rungs=keep_rungs)
     result = system.run()
     if ladder is not None:
         ladder.flush_index()
@@ -246,7 +555,7 @@ def profile_cell(spec: TrialSpec) -> RunProfile:
         issue_end=max((core.finish_time or 0) for core in system.cores),
         persist_cycles=sorted({event.cycle for event in history
                                if event.kind in (PERSIST, WRITEBACK)}),
-    )
+    ), ladder
 
 
 def snapshot_cell(spec: TrialSpec) -> List[Dict]:
@@ -392,7 +701,8 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
                  progress: Optional[Callable[[str], None]] = None,
                  snapshot_dir: Optional[str] = None,
                  snapshot_every: int = 0,
-                 snapshot_rungs: int = 0) -> CampaignReport:
+                 snapshot_rungs: int = 0,
+                 batch: int = 0) -> CampaignReport:
     """Run a full campaign over the ``workloads x designs`` grid.
 
     ``budget`` is the trial budget *per cell*.  ``executor`` is a
@@ -411,6 +721,16 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
     land ~``snapshot_rungs`` rungs (a grid-wide interval gives one cell
     tails too long to matter and another a capture bill too high to
     amortise).  Overrides ``snapshot_every``.
+
+    ``batch > 0`` turns on cell-affine batched execution: trials ship
+    as chunks of up to ``batch`` specs per (cell, chunk) task through
+    :meth:`ParallelExecutor.map_batched` (or run through
+    :func:`run_trial_batch` in-process when there is no executor), and
+    workers serve each chunk from a resident system instead of
+    rebuilding per trial; the profiling/probe passes fan out over
+    cells through the executor too.  Outcomes are byte-identical to
+    the trial-at-a-time path -- batching changes only where the work
+    runs and what it costs.
     """
     started = time.perf_counter()
     planner_obj = planner_by_name(planner)
@@ -436,28 +756,53 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
                          log_mode=log_mode, snapshot_every=every,
                          snapshot_dir=snapshot_dir)
 
+    def profile_cells(specs: List[TrialSpec]) -> List[RunProfile]:
+        """Profiles are pure functions of their spec, so in batch mode
+        the per-cell canonical runs fan out over the executor (rungs
+        land in the shared on-disk store either way).  Batch-mode
+        profiling seeds the profiling process's rung cache so trials
+        that stay in that process never re-read what it just wrote; a
+        pool worker that gets the cell without the seed falls back to
+        the store read, nothing worse."""
+        profiler = profile_cell_seeding if batch else profile_cell
+        if batch and executor is not None and len(specs) > 1:
+            return executor.map(
+                profiler, specs,
+                describe=lambda s: f"profile {s.workload}/{s.design}")
+        return [profiler(spec) for spec in specs]
+
     if snapshot_rungs:
         say(f"sizing ladders: ~{snapshot_rungs} rungs per cell")
-        for workload, design in cells:
-            probe = profile_cell(replace(base_spec(workload, design),
-                                         snapshot_every=0,
-                                         snapshot_dir=None))
+        probes = profile_cells([
+            replace(base_spec(workload, design), snapshot_every=0,
+                    snapshot_dir=None)
+            for workload, design in cells])
+        for (workload, design), probe in zip(cells, probes):
             cell_every[(workload, design)] = max(
                 1, len(probe.persist_cycles) // snapshot_rungs)
 
     def fan_out(specs: List[TrialSpec]) -> List[Dict]:
-        if executor is not None and specs:
+        if not specs:
+            return []
+        if batch:
+            if executor is not None:
+                return executor.map_batched(
+                    run_trial_batch, specs, key=_batch_key,
+                    chunk_size=batch, describe=_describe_batch)
+            return run_trial_batch(specs)
+        if executor is not None:
             return executor.map(run_trial, specs, describe=_describe_spec)
         return [run_trial(spec) for spec in specs]
 
     say(f"profiling {len(cells)} cells "
         f"({len(workloads)} workloads x {len(designs)} designs)")
     profiles: Dict[Tuple[str, str], RunProfile] = {}
-    for workload, design in cells:
-        profiles[(workload, design)] = profile_cell(
-            base_spec(workload, design))
+    for (workload, design), profile in zip(
+            cells, profile_cells([base_spec(workload, design)
+                                  for workload, design in cells])):
+        profiles[(workload, design)] = profile
         bus.emit("cell_profile", workload=workload, design=design,
-                 total_cycles=profiles[(workload, design)].total_cycles)
+                 total_cycles=profile.total_cycles)
 
     # The adaptive planner wants a feedback round; the others spend
     # their whole budget at once.
@@ -538,7 +883,7 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
             "seed": seed, "n_threads": n_threads,
             "fases_per_thread": fases_per_thread, "log_mode": log_mode,
             "shrink": shrink, "snapshot_every": snapshot_every,
-            "snapshot_rungs": snapshot_rungs,
+            "snapshot_rungs": snapshot_rungs, "batch": batch,
             "cell_snapshot_every": {
                 f"{workload}/{design}": every
                 for (workload, design), every in sorted(cell_every.items())},

@@ -17,8 +17,7 @@ attempt of a FASE on a core, with its outcome).
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, NamedTuple, Optional
 
 from ..sim.trace import PHASE_COMPLETE
 
@@ -31,14 +30,19 @@ FASE = "fase"
 KINDS = (WRITEBACK, READ, PERSIST, DETECTION, FASE)
 
 
-@dataclass(frozen=True)
-class HistoryEvent:
+class HistoryEvent(NamedTuple):
     """One normalised event of a persist history.
 
     ``cycle`` is the event's time in core cycles: PMC *acceptance* time
     for writebacks/persists, arrival time for reads, detection time for
     detections, and the attempt's start for FASE spans (whose ``end``
     carries the completion cycle).
+
+    A ``NamedTuple`` rather than a frozen dataclass: campaigns build one
+    instance per traced PMC event, and tuple construction is what keeps
+    :func:`events_to_history` off the profile.  ``kind`` is trusted to
+    be one of :data:`KINDS` -- build events through the constructors
+    below rather than by hand.
     """
 
     kind: str
@@ -51,14 +55,8 @@ class HistoryEvent:
     attempt: int = 1
     end: Optional[int] = None
 
-    def __post_init__(self):
-        if self.kind not in KINDS:
-            raise ValueError(f"unknown history event kind {self.kind!r}")
-        if self.cycle < 0:
-            raise ValueError("event cycle must be >= 0")
-
     def to_dict(self) -> Dict:
-        return asdict(self)
+        return dict(self._asdict())
 
 
 # ----------------------------------------------------- test constructors
@@ -109,27 +107,44 @@ def history_from_recorder(recorder) -> List[HistoryEvent]:
     is that core's issue order -- the stream order the intra-thread
     check relies on.
     """
+    return events_to_history(recorder.events())
+
+
+def events_to_history(events) -> List[HistoryEvent]:
+    """:func:`history_from_recorder` over raw recorder tuples.
+
+    The mapping is stateless per event, so a history may be assembled
+    piecewise: ``events_to_history(a) + events_to_history(b)`` equals
+    ``events_to_history(a + b)``.  The resident campaign path relies on
+    this to reuse one converted prefix across every trial restored from
+    the same rung.
+    """
     history: List[HistoryEvent] = []
-    for phase, track, name, cat, ts, dur, args in recorder.events():
+    append = history.append
+    # HistoryEvent is constructed directly (not via the constructors
+    # above): this loop runs once per traced event per trial, and the
+    # extra call frame per event was measurable at campaign scale.
+    for phase, track, name, cat, ts, dur, args in events:
         args = args or {}
         if cat == "pmc":
             if name == "writeback-accept":
-                history.append(writeback(args["block"], ts))
+                append(HistoryEvent(WRITEBACK, ts, args["block"]))
             elif name == "pm-read":
-                history.append(read(args["block"], ts))
+                append(HistoryEvent(READ, ts, args["block"]))
             elif name == "persist-accept":
-                history.append(persist(args["block"], ts,
-                                       core=args.get("core", 0),
-                                       spec_id=args.get("spec_id", 0)))
+                append(HistoryEvent(PERSIST, ts, args["block"],
+                                    args.get("core", 0),
+                                    args.get("spec_id", 0)))
         elif cat == "spec-buffer" and name.endswith("->Misspeculation"):
-            history.append(detection(args["block"], ts,
-                                     spec_id=args.get("spec_id", 0)))
+            append(HistoryEvent(DETECTION, ts, args["block"],
+                                spec_id=args.get("spec_id", 0)))
         elif (cat == "fase" and phase == PHASE_COMPLETE
                 and track.startswith("core")):
-            history.append(fase_span(int(track[len("core"):]),
-                                     args.get("fase", -1), ts, ts + dur,
-                                     outcome=args.get("outcome", ""),
-                                     attempt=args.get("attempt", 1)))
+            append(HistoryEvent(FASE, ts, core=int(track[len("core"):]),
+                                fase=args.get("fase", -1),
+                                outcome=args.get("outcome", ""),
+                                attempt=args.get("attempt", 1),
+                                end=ts + dur))
     return history
 
 

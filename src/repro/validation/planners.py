@@ -32,6 +32,7 @@ campaign seed reproduces the exact trial set.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
@@ -90,11 +91,33 @@ class RunProfile:
         strata: Dict[str, List[int]] = {
             "inside-fase": [], "at-commit": [], "during-drain": []}
         last = max(1, self.total_cycles - 1)
+        # Same classification as :meth:`phase_of`, but over sorted
+        # commits / merged intervals with bisect: profiles carry
+        # thousands of persist boundaries and hundreds of commits, and
+        # the linear scan per boundary made planning a campaign-level
+        # cost (O(boundaries x commits)).
+        commits = sorted(self.commit_cycles)
+        merged: List[List[int]] = []
+        for start, end in sorted(self.fase_intervals):
+            if merged and start <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], end)
+            else:
+                merged.append([start, end])
+        starts = [span[0] for span in merged]
         for boundary in self.persist_cycles:
-            if 1 <= boundary <= last:
-                phase = self.phase_of(boundary)
-                if phase in strata:
-                    strata[phase].append(boundary)
+            if not 1 <= boundary <= last:
+                continue
+            hit = bisect_left(commits, boundary)
+            if ((hit < len(commits)
+                    and commits[hit] - boundary <= COMMIT_HALO)
+                    or (hit and boundary - commits[hit - 1] <= COMMIT_HALO)):
+                strata["at-commit"].append(boundary)
+                continue
+            span = bisect_right(starts, boundary) - 1
+            if span >= 0 and boundary < merged[span][1]:
+                strata["inside-fase"].append(boundary)
+            elif boundary >= self.issue_end:
+                strata["during-drain"].append(boundary)
         if not strata["at-commit"]:
             for commit in self.commit_cycles:
                 strata["at-commit"].extend(

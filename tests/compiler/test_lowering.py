@@ -201,6 +201,28 @@ class TestProgramLowering:
         pmem = lower_program(program, "pmemspec").total_ops
         assert x86 > pmem
 
+    def test_memoised_per_program(self):
+        program = Program("p", [ThreadProgram(0, [locked_fase()])],
+                          n_locks=1)
+        assert lower_program(program, "x86") is lower_program(program,
+                                                              "x86")
+        assert lower_program(program, "x86") is not \
+            lower_program(program, "pmemspec")
+
+    def test_memo_does_not_outlive_program(self):
+        # The memo must not pin the program: a module-level cache whose
+        # value references the program leaks every program ever lowered
+        # (each later benchmark pass then pays GC for all earlier ones).
+        import gc
+        import weakref
+        program = Program("p", [ThreadProgram(0, [locked_fase()])],
+                          n_locks=1)
+        lower_program(program, "x86")
+        ghost = weakref.ref(program)
+        del program
+        gc.collect()
+        assert ghost() is None
+
 
 class TestStrandFlavor:
     def test_strand_per_log_group(self):

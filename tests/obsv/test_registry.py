@@ -125,8 +125,48 @@ class TestEventDerivations:
         )
         values = parse_prometheus_text(reg.to_prometheus())
         assert values["repro_rungs_captured_total"] == 1
-        assert values["repro_snapshot_restores_total"] == 1
+        assert values['repro_snapshot_restores_total{source="store"}'] == 1
         assert values["repro_snapshot_restore_depth_cycles_count"] == 1
+        assert values["repro_rung_cache_hit_ratio"] == 1
+
+    def test_restore_sources_and_fallbacks(self):
+        reg = MetricsRegistry()
+        self.feed(
+            reg,
+            {"kind": "snapshot_restore", "crash_cycle": 900,
+             "rung_cycle": 800, "rung": 3, "source": "resident"},
+            {"kind": "snapshot_restore", "crash_cycle": 900,
+             "rung_cycle": 800, "rung": 3, "source": "store"},
+            {"kind": "snapshot_restore", "crash_cycle": 10,
+             "rung_cycle": None, "rung": None, "source": "cold"},
+            {"kind": "snapshot_restore", "crash_cycle": 900,
+             "rung_cycle": None, "rung": None,
+             "outcome": "cold_fallback", "error": "boom"},
+        )
+        values = parse_prometheus_text(reg.to_prometheus())
+        assert values['repro_snapshot_restores_total{source="resident"}'] == 1
+        assert values['repro_snapshot_restores_total{source="store"}'] == 1
+        assert values['repro_snapshot_restores_total{source="cold"}'] == 1
+        assert values["repro_snapshot_cold_fallbacks_total"] == 1
+        # 2 warm of 3 restores; the fallback is tracked separately.
+        assert values["repro_rung_cache_hit_ratio"] == round(2 / 3, 4)
+
+    def test_batch_flow(self):
+        reg = MetricsRegistry()
+        self.feed(
+            reg,
+            {"kind": "batch_start", "index": 0, "label": "cell x20",
+             "size": 20},
+            {"kind": "batch_finish", "index": 0, "label": "cell x20",
+             "size": 20, "elapsed_s": 2.0, "source": "pool"},
+            {"kind": "batch_finish", "index": 1, "label": "cell x10",
+             "size": 10, "elapsed_s": 1.0, "source": "pool"},
+        )
+        values = parse_prometheus_text(reg.to_prometheus())
+        assert values["repro_batches_total"] == 2
+        assert values["repro_batch_size_count"] == 2
+        assert values["repro_batch_size_sum"] == 30
+        assert values["repro_batch_seconds_count"] == 2
 
     def test_wpq_depth_histogram(self):
         reg = MetricsRegistry()
@@ -147,7 +187,8 @@ class TestEventDerivations:
         reg = MetricsRegistry()
         for kind in ("sweep_start", "sweep_finish", "spec_finish",
                      "trial_finish", "campaign_finish",
-                     "snapshot_restore", "oracle_violation"):
+                     "snapshot_restore", "oracle_violation",
+                     "batch_finish"):
             reg.observe_event({"kind": kind})
 
 

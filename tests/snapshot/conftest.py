@@ -1,0 +1,19 @@
+"""Shared snapshot-test hygiene.
+
+The store's read cache is process-wide and content-addressed, so two
+tests that build byte-identical ladders (same spec, fresh tmp dirs)
+share cache entries.  Damage-injection tests tamper with the *disk*
+copy and assert the cold-fallback path runs, which it only does when
+the read cache is cold -- so every test starts with an empty one.
+"""
+
+import pytest
+
+from repro.snapshot import SnapshotStore
+
+
+@pytest.fixture(autouse=True)
+def _cold_read_cache():
+    SnapshotStore.clear_read_cache()
+    yield
+    SnapshotStore.clear_read_cache()
