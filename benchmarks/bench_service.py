@@ -1,0 +1,253 @@
+"""Service fabric: warm-resume speedup + work-stealing straggler win.
+
+Two headline numbers for the PR 9 service (``repro.service``), both on
+the ``bench_campaign`` 160-trial grid (hashmap + queue x PMEM-Spec +
+IntelX86, 40 stratified trials per cell, ~16 rungs):
+
+``resume``
+    The same campaign job run twice through :class:`JobRunner` over
+    one :class:`JobStore`: a cold submit-to-done pass that simulates
+    and journals all 24 tasks, then a forced re-run that must replay
+    every outcome from the task journal (``tasks_executed == 0``) and
+    produce a byte-identical report (:func:`report_fingerprint`).
+    That replay-to-cold ratio is what a killed-and-resumed job gets
+    back for work completed before the kill.
+
+``steal``
+    A deliberately skewed grid (one cell-affine deque owning 8 x ~250ms
+    chunks, the other 2 x ~50ms) through the same
+    :class:`WorkStealingPool` twice: stock (idle worker steals from
+    the straggler's tail) vs a stealing-disabled variant that models
+    static cell-affine assignment.  Sleep-based tasks make the skew
+    deterministic, so the win is pure scheduling.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+CI regression gate (compares against the committed JSON)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --check BENCH_service.json
+"""
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.obsv.bus import EventBus
+from repro.service import (
+    JobRunner,
+    JobSpec,
+    JobStore,
+    Task,
+    WorkStealingPool,
+    report_fingerprint,
+)
+
+WORKLOADS = ["hashmap", "queue"]
+DESIGNS = ["PMEM-Spec", "IntelX86"]
+BUDGET = 40          # per cell: 2x2 cells -> 160 stratified trials
+N_THREADS = 2
+FASES = 400
+SEED = 42
+RUNGS = 16
+CHUNK = 10
+JOBS = 2             # pool width; 2 keeps single-core CI honest
+
+#: A resumed job must replay journaled work at least this much faster
+#: than simulating it (the fabric's reason to exist).
+MIN_RESUME_SPEEDUP = 3.0
+#: Stealing must beat static cell-affine assignment on the skewed grid.
+MIN_STEAL_SPEEDUP = 1.25
+#: ``--check`` floor: ratios are machine-relative, so the committed
+#: resume speedup only gates at half its recorded value.
+REGRESSION_TOLERANCE = 0.50
+
+STRAGGLER_S = 0.25   # per chunk on the overloaded deque (x8)
+QUICK_S = 0.05       # per chunk on the idle-prone deque (x2)
+
+
+def fixture_spec() -> JobSpec:
+    return JobSpec.campaign(WORKLOADS, DESIGNS, budget=BUDGET,
+                            seed=SEED, n_threads=N_THREADS,
+                            fases_per_thread=FASES,
+                            snapshot_rungs=RUNGS, batch=CHUNK)
+
+
+# ------------------------------------------------------------- resume
+
+
+def run_resume_bench(scratch: str) -> dict:
+    store = JobStore(f"{scratch}/store")
+    runner = JobRunner(store, workers=JOBS)
+    record = store.submit(fixture_spec())
+
+    started = time.perf_counter()
+    cold = runner.run_job(record.job_id)
+    cold_s = time.perf_counter() - started
+    cold_print = report_fingerprint(store.load_report(record.job_id))
+
+    store.submit(fixture_spec(), force=True)
+    started = time.perf_counter()
+    warm = runner.run_job(record.job_id)
+    warm_s = time.perf_counter() - started
+    warm_print = report_fingerprint(store.load_report(record.job_id))
+
+    return {
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "speedup": round(cold_s / warm_s, 1),
+        "tasks_total": cold.detail["tasks_total"],
+        "cold_tasks_executed": cold.detail["tasks_executed"],
+        "warm_tasks_executed": warm.detail["tasks_executed"],
+        "warm_tasks_from_journal": warm.detail["tasks_from_journal"],
+        "states": [cold.state, warm.state],
+        "fingerprint_match": cold_print == warm_print,
+    }
+
+
+# -------------------------------------------------------------- steal
+
+
+def _nap(arg):
+    time.sleep(arg)
+    return arg
+
+
+class _NoStealPool(WorkStealingPool):
+    """Static cell-affine assignment: the stock pool minus stealing."""
+
+    def _dispatch_idle(self, pool, deques, tasks, bus) -> None:
+        for worker in pool:
+            if not worker.idle:
+                continue
+            own = deques[worker.worker_id]
+            if own:
+                seq = own.popleft()
+                bus.emit("task_start", index=seq,
+                         label=tasks[seq].describe())
+                worker.dispatch(seq, tasks[seq], stolen=False)
+
+
+def _straggler_tasks() -> list:
+    tasks = [Task(key=f"slow{i}", fn=_nap, arg=STRAGGLER_S,
+                  affinity="congested") for i in range(8)]
+    tasks += [Task(key=f"fast{i}", fn=_nap, arg=QUICK_S,
+                   affinity="quiet") for i in range(2)]
+    return tasks
+
+
+def run_steal_bench() -> dict:
+    bus = EventBus()
+    steals = []
+    bus.subscribe(lambda event: steals.append(event)
+                  if event["kind"] == "steal" else None)
+
+    started = time.perf_counter()
+    static = _NoStealPool(workers=2).run(_straggler_tasks())
+    no_steal_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    stolen = WorkStealingPool(workers=2, bus=bus).run(
+        _straggler_tasks())
+    steal_s = time.perf_counter() - started
+
+    return {
+        "grid": {"straggler_chunks": 8, "straggler_s": STRAGGLER_S,
+                 "quick_chunks": 2, "quick_s": QUICK_S, "workers": 2},
+        "no_steal_s": round(no_steal_s, 3),
+        "steal_s": round(steal_s, 3),
+        "speedup": round(no_steal_s / steal_s, 2),
+        "steals": len(steals),
+        "stolen_tasks": sum(1 for o in stolen if o.stolen),
+        "all_ok": all(o.ok for o in static) and all(o.ok for o in stolen),
+    }
+
+
+# ------------------------------------------------------------ harness
+
+
+def run_service_bench(scratch: str) -> dict:
+    resume = run_resume_bench(scratch)
+    steal = run_steal_bench()
+    return {
+        "bench": "service_resume_and_steal",
+        "params": {"workloads": WORKLOADS, "designs": DESIGNS,
+                   "budget_per_cell": BUDGET, "n_threads": N_THREADS,
+                   "fases_per_thread": FASES, "seed": SEED,
+                   "rungs_per_cell": RUNGS, "batch_chunk": CHUNK,
+                   "workers": JOBS},
+        "resume": resume,
+        "steal": steal,
+    }
+
+
+def main(argv) -> int:
+    scratch = tempfile.mkdtemp(prefix="repro-service-bench-")
+    try:
+        payload = run_service_bench(scratch)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    resume, steal = payload["resume"], payload["steal"]
+    failures = []
+    if resume["states"] != ["done", "done"]:
+        failures.append(f"job states {resume['states']}")
+    if not resume["fingerprint_match"]:
+        failures.append("resumed report is not byte-identical")
+    if resume["warm_tasks_executed"] != 0:
+        failures.append(
+            f"warm re-run simulated {resume['warm_tasks_executed']} "
+            f"task(s) instead of replaying the journal")
+    if resume["speedup"] < MIN_RESUME_SPEEDUP:
+        failures.append(f"resume speedup {resume['speedup']}x < "
+                        f"{MIN_RESUME_SPEEDUP}x bar")
+    if not steal["all_ok"] or steal["steals"] == 0:
+        failures.append("stealing pass never stole")
+    if steal["speedup"] < MIN_STEAL_SPEEDUP:
+        failures.append(f"steal speedup {steal['speedup']}x < "
+                        f"{MIN_STEAL_SPEEDUP}x bar")
+    if "--check" in argv:
+        committed_path = argv[argv.index("--check") + 1]
+        with open(committed_path) as handle:
+            committed = json.load(handle)["resume"]["speedup"]
+        floor = committed * (1.0 - REGRESSION_TOLERANCE)
+        payload["regression_check"] = {
+            "committed_resume_speedup": committed,
+            "floor": round(floor, 1),
+            "ok": resume["speedup"] >= floor,
+        }
+        if resume["speedup"] < floor:
+            failures.append(
+                f"resume speedup {resume['speedup']}x below "
+                f"{floor:.1f}x (committed {committed}x - "
+                f"{REGRESSION_TOLERANCE:.0%})")
+    else:
+        with open("BENCH_service.json", "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    status = "ok" if not failures else "; ".join(failures)
+    print(f"service bench: cold {resume['cold_s']}s -> warm resume "  # noqa: T201
+          f"{resume['warm_s']}s ({resume['speedup']}x); straggler grid "
+          f"{steal['no_steal_s']}s -> {steal['steal_s']}s with stealing "
+          f"({steal['speedup']}x, {steal['steals']} steals) [{status}]")
+    return 0 if not failures else 1
+
+
+def test_service_resume_and_steal(benchmark, run_once, tmp_path):
+    payload = run_once(benchmark,
+                       lambda: run_service_bench(str(tmp_path)))
+    print("\n" + json.dumps(payload, indent=2))  # noqa: T201
+    resume, steal = payload["resume"], payload["steal"]
+    assert resume["states"] == ["done", "done"]
+    assert resume["fingerprint_match"], \
+        "forced re-run changed the campaign report"
+    assert resume["warm_tasks_executed"] == 0
+    assert resume["speedup"] >= MIN_RESUME_SPEEDUP
+    assert steal["steals"] > 0 and steal["stolen_tasks"] > 0
+    assert steal["speedup"] >= MIN_STEAL_SPEEDUP
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

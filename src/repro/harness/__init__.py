@@ -29,6 +29,7 @@ from .report import (
     format_timeseries,
     sparkline,
 )
+from .retry import DEFAULT_POLICY, SERVICE_POLICY, RetryPolicy
 from .runner import normalized_throughput
 from .sweep import (
     STRUCTURAL_FIELDS,
@@ -37,9 +38,11 @@ from .sweep import (
     Sweep,
     SweepError,
     SweepResult,
+    WorkerTaskError,
     build_spec_system,
     execute_spec,
     fork_warm_starts,
+    plan_batches,
     structural_mismatches,
 )
 
@@ -57,4 +60,6 @@ __all__ = [
     "structural_mismatches", "undo_vs_redo_ablation",
     "naive_tagging_ablation", "normalized_throughput",
     "table3_rows",
+    "DEFAULT_POLICY", "SERVICE_POLICY", "RetryPolicy",
+    "WorkerTaskError", "plan_batches",
 ]

@@ -27,6 +27,12 @@ Usage::
     python -m repro.harness snapshot inspect --snapshot-dir snaps/
     python -m repro.harness snapshot verify --benchmark hashmap \
         --design PMEM-Spec --snapshot-every 50 --snapshot-dir snaps/
+    python -m repro.harness serve --service-root jobs/ --port 8642 \
+        --jobs 4            # long-running simulation service
+    python -m repro.harness submit --url http://127.0.0.1:8642 \
+        --benchmarks hashmap,queue --designs PMEM-Spec --budget 40 \
+        --wait              # submit a campaign job, poll to done
+    python -m repro.harness status --url http://127.0.0.1:8642
 
 ``--jobs N`` fans the experiment grid out over N worker processes
 (``0`` = all cores).  Results are cached per grid cell (keyed by a
@@ -47,6 +53,7 @@ import contextlib
 import json
 import logging
 import os
+import signal
 import sys
 import tempfile
 import time
@@ -74,6 +81,48 @@ from .report import (
 )
 
 log = get_logger("harness.cli")
+
+
+class _Interrupted(Exception):
+    """SIGINT/SIGTERM arrived mid-command; unwind, flush, exit clean."""
+
+    def __init__(self, signum: int):
+        super().__init__(signal.Signals(signum).name)
+        self.signum = signum
+
+
+def _install_signal_handlers():
+    """Long-running commands (validate, sweeps, serve) must not die
+    with a traceback and half-written artifacts: a signal raises
+    :class:`_Interrupted`, the dispatch loop's ``finally`` flushes the
+    event log and metrics exposition, and the process exits with the
+    conventional ``128 + signum``.  (``serve`` replaces these with its
+    own asyncio handlers for the graceful job-interrupt path.)
+
+    Returns the displaced ``(signum, handler)`` pairs so the dispatch
+    loop can put them back -- in-process callers (the test suite, a
+    notebook) must not keep our handlers after ``main()`` returns.
+    Forked pool workers restore defaults on their own
+    (:func:`repro.harness.sweep.reset_worker_signals`)."""
+    previous = []
+
+    def handler(signum, _frame):
+        raise _Interrupted(signum)
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous.append((signum, signal.signal(signum, handler)))
+        except (ValueError, OSError):   # non-main thread / platform
+            pass
+    return previous
+
+
+def _restore_signal_handlers(previous) -> None:
+    for signum, handler in previous:
+        try:
+            signal.signal(signum, handler)
+        except (ValueError, OSError):
+            pass
 
 
 def _maybe_save(args, name, payload):
@@ -436,6 +485,88 @@ def cmd_snapshot(args) -> int:
     return 0 if outcome["ok"] else 1
 
 
+def _default_service_root() -> str:
+    return os.path.join(tempfile.gettempdir(), "repro-service")
+
+
+def cmd_serve(args) -> int:
+    """Run the simulation service: durable job queue + HTTP/JSON API.
+
+    Boots on ``--service-root`` (jobs journal + shared artifact
+    tiers), recovers any jobs a previous process left unfinished, and
+    serves until SIGINT/SIGTERM -- a signal interrupts the running job
+    between tasks (journaled ``interrupted``, resumed on next start)
+    and exits ``128 + signum``.
+    """
+    from ..service.api import run_service
+    return run_service(
+        root=args.service_root or _default_service_root(),
+        host=args.host, port=args.port,
+        workers=args.jobs if args.jobs > 0 else (os.cpu_count() or 1),
+        task_timeout_s=args.task_timeout or None,
+        ready_file=args.ready_file)
+
+
+def _job_spec_from_args(args):
+    """Build the JobSpec ``submit`` ships: a campaign over the
+    validate-style grid, or a sweep over benchmarks x designs."""
+    from ..service import JobSpec
+    benchmarks = [b.strip() for b in args.benchmarks.split(",")
+                  if b.strip()]
+    designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    if args.kind == "sweep":
+        from .sweep import Sweep
+        sweep = Sweep.grid(benchmarks, designs, n_threads=args.threads,
+                           seeds=args.seed, name="submit")
+        return JobSpec.sweep(sweep, name=args.job_name)
+    return JobSpec.campaign(
+        benchmarks, designs, planner=args.planner, fault=args.fault,
+        budget=args.budget, seed=args.seed, n_threads=args.val_threads,
+        fases_per_thread=args.val_fases, log_mode=args.log_mode,
+        shrink=False, snapshot_rungs=args.snapshot_rungs or 16,
+        batch=args.batch or 10, name=args.job_name)
+
+
+def cmd_submit(args) -> int:
+    """Submit a job to a running service and (optionally) wait."""
+    from ..service import ServiceClient
+    client = ServiceClient(args.url)
+    spec = _job_spec_from_args(args)
+    record = client.submit(spec, force=args.force)
+    console(json.dumps({"job_id": record["job_id"],
+                        "state": record["state"]}))
+    if args.follow:
+        for event in client.events(record["job_id"]):
+            console(json.dumps(event, sort_keys=True))
+    if args.wait or args.follow:
+        final = client.wait(record["job_id"], timeout_s=args.wait_s)
+        console(json.dumps(final, sort_keys=True, indent=2))
+        return 0 if final["state"] == "done" else 1
+    return 0
+
+
+def cmd_status(args) -> int:
+    """Show a running service's jobs (or one job; --follow streams)."""
+    from ..service import ServiceClient
+    client = ServiceClient(args.url)
+    if not args.target:
+        health = client.health()
+        console(f"service ok: uptime {health['uptime_s']:.0f}s, "
+                f"current={health['current_job'] or '-'}, "
+                f"states={json.dumps(health['jobs'], sort_keys=True)}")
+        for record in client.jobs():
+            console(f"  {record['job_id']}  {record['state']:<12}"
+                    f"{record['spec']['kind']:<9}"
+                    f"{record['spec'].get('name', '')}")
+        return 0
+    if args.follow:
+        for event in client.events(args.target):
+            console(json.dumps(event, sort_keys=True))
+    record = client.job(args.target)
+    console(json.dumps(record, sort_keys=True, indent=2))
+    return 0
+
+
 def cmd_all(args) -> None:
     cmd_table3(args)
     console()
@@ -468,6 +599,9 @@ COMMANDS = {
     "bench-history": cmd_bench_history,
     "snapshot": cmd_snapshot,
     "validate": cmd_validate,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
     "all": cmd_all,
 }
 
@@ -582,6 +716,45 @@ def main(argv=None) -> int:
                              "resident warm system per worker (0 = "
                              "trial-at-a-time; outcomes are identical "
                              "either way)")
+    parser.add_argument("--service-root", default=None, metavar="DIR",
+                        help="serve command: durable job store "
+                             "directory (default <tmpdir>/repro-"
+                             "service)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="serve command: bind address")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="serve command: bind port (0 = kernel-"
+                             "assigned; see --ready-file)")
+    parser.add_argument("--ready-file", default=None, metavar="FILE",
+                        help="serve command: write 'host port' here "
+                             "once the socket is bound")
+    parser.add_argument("--task-timeout", type=float, default=0.0,
+                        metavar="S",
+                        help="serve command: per-task wall-clock "
+                             "timeout (0 = none; hung workers are "
+                             "killed and the task retried)")
+    parser.add_argument("--url", default="http://127.0.0.1:8642",
+                        help="submit/status commands: service base URL")
+    parser.add_argument("--kind", default="campaign",
+                        choices=("campaign", "sweep"),
+                        help="submit command: job kind (campaign uses "
+                             "the validate-style options, sweep a "
+                             "benchmarks x designs RunSpec grid)")
+    parser.add_argument("--job-name", default="", metavar="NAME",
+                        help="submit command: display tag (not part "
+                             "of the job id)")
+    parser.add_argument("--force", action="store_true",
+                        help="submit command: re-queue the job even "
+                             "if an identical one already finished")
+    parser.add_argument("--wait", action="store_true",
+                        help="submit command: poll until the job is "
+                             "terminal (exit 1 unless it is done)")
+    parser.add_argument("--wait-s", type=float, default=3600.0,
+                        metavar="S",
+                        help="submit command: --wait timeout")
+    parser.add_argument("--follow", action="store_true",
+                        help="submit/status commands: stream the "
+                             "job's NDJSON events to stdout")
     parser.add_argument("--log-level", default="info",
                         choices=("debug", "info", "warning", "error"),
                         help="diagnostic verbosity on stderr")
@@ -619,6 +792,7 @@ def main(argv=None) -> int:
             bus.subscribe(exporter.on_event)
     scope = (bus_scope(bus) if bus is not None
              else contextlib.nullcontext())
+    previous_handlers = _install_signal_handlers()
     try:
         with scope:
             status = COMMANDS[args.experiment](args)
@@ -627,7 +801,17 @@ def main(argv=None) -> int:
         # are user errors, not crashes.
         log.error("%s", exc)
         return 2
+    except _Interrupted as exc:
+        # Graceful stop: no traceback, partial artifacts flushed by
+        # the finally below, conventional 128+signum exit code.
+        log.warning("interrupted by %s; flushing partial artifacts "
+                    "and event log", exc)
+        if bus is not None:
+            bus.emit("interrupted", signal_name=str(exc),
+                     command=args.experiment)
+        return 128 + exc.signum
     finally:
+        _restore_signal_handlers(previous_handlers)
         if exporter is not None:
             exporter.write()
             log.info("metrics exposition written to %s", args.prom_out)

@@ -41,6 +41,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import signal
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -76,6 +77,7 @@ from ..workloads import (
 )
 from .artifacts import load_artifact, save_artifact
 from .configs import default_config
+from .retry import DEFAULT_POLICY, RetryPolicy
 
 # Synthetic §8.4 probes are runnable through the sweep API even though
 # they are not Table 4 benchmarks.
@@ -359,6 +361,73 @@ class SweepError(RuntimeError):
         self.worker_traceback = worker_traceback
 
 
+class WorkerTaskError(RuntimeError):
+    """A worker-side failure the retry policy declined to re-run."""
+
+
+def _error_tail(error: str, limit: int = 200) -> str:
+    """The last non-blank line of a traceback string, for events."""
+    lines = [line for line in str(error).strip().splitlines() if line]
+    tail = lines[-1] if lines else str(error)
+    return tail[:limit]
+
+
+def _retry_serial(policy: RetryPolicy, bus: Bus, label: str,
+                  worker_error: str, action: Callable,
+                  sleep: Callable[[float], None] = time.sleep):
+    """Re-run a failed worker task serially, as the policy allows.
+
+    Emits one ``task_retry`` event -- attempt number, backoff delay,
+    error tail -- before *every* re-execution; the pre-PR 8 silent
+    serial fallback is gone.  Returns ``action()``'s value on the
+    first success.  When attempts are exhausted the last in-parent
+    exception re-raises; when the policy allows no retry at all (or
+    rules the failure non-retryable) a :class:`WorkerTaskError`
+    carrying the worker traceback raises instead.
+    """
+    attempt = 1           # the worker execution already failed
+    error = worker_error
+    while policy.should_retry(attempt):
+        delay = policy.delay_s(attempt)
+        bus.emit("task_retry", label=label, attempt=attempt + 1,
+                 delay_s=round(delay, 3), error=_error_tail(error))
+        if delay:
+            sleep(delay)
+        try:
+            return action()
+        except Exception as exc:
+            attempt += 1
+            error = str(exc)
+            if not policy.should_retry(attempt, exc):
+                raise
+    raise WorkerTaskError(
+        f"{label}: worker failed and policy allows no retry\n"
+        f"--- worker traceback ---\n{worker_error}")
+
+
+def plan_batches(items: Sequence, key: Optional[Callable] = None,
+                 chunk_size: Optional[int] = None) -> List[List[int]]:
+    """Affinity-batched chunk plan: item indexes per (group, chunk).
+
+    The chunking rule behind :meth:`ParallelExecutor.map_batched`,
+    exposed so other schedulers (the service's work-stealing pool)
+    produce *identical* chunks for identical inputs -- which is what
+    makes journaled chunk outcomes reusable across runs.  Items with
+    equal ``key`` stay contiguous; ``chunk_size`` caps items per chunk
+    (``None``/``0`` ships each whole group as one chunk).
+    """
+    groups: Dict[object, List[int]] = {}
+    for index, item in enumerate(items):
+        group = key(item) if key is not None else None
+        groups.setdefault(group, []).append(index)
+    batches: List[List[int]] = []
+    for indices in groups.values():
+        step = chunk_size or len(indices)
+        for start in range(0, len(indices), step):
+            batches.append(indices[start:start + step])
+    return batches
+
+
 def build_spec_system(spec: RunSpec, tracer=None, metrics=None,
                       scheduler=None):
     """Build (but do not run) the fully wired system for one spec.
@@ -485,11 +554,31 @@ def fork_warm_starts(base: RunSpec, variants: Sequence[RunSpec],
 _execute_spec = execute_spec
 
 
+def reset_worker_signals() -> None:
+    """Restore default signal dispositions in a forked worker.
+
+    The CLI installs SIGINT/SIGTERM handlers that raise into the
+    *parent's* dispatch loop for a graceful unwind; a forked worker
+    inherits them, which breaks ``Pool.terminate()`` -- the worker's
+    main thread can sit in an uninterruptible semaphore wait (or catch
+    the raised exception as an ordinary task failure) and outlive the
+    pool, deadlocking the parent's ``join()``.  Workers therefore go
+    back to ``SIG_DFL`` for SIGTERM (so terminate() kills them) and
+    ignore SIGINT (a Ctrl-C is the parent's to handle; it tears the
+    pool down explicitly)."""
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # non-main thread / platform quirks
+        pass
+
+
 def _pool_initializer(queue, context_fields: Dict[str, str]) -> None:
     """Runs once in each pool worker: install a queue-backed bus and
     the parent's run context, so events (and log records) emitted deep
     inside a worker carry the parent's correlation IDs.  Only wired up
     under the ``fork`` start method (queue inheritance)."""
+    reset_worker_signals()
     if queue is not None:
         set_bus(QueueEmitter(queue))
     seed_context(context_fields)
@@ -632,12 +721,18 @@ class ParallelExecutor:
     def __init__(self, jobs: Optional[int] = 1,
                  cache_dir: Optional[str] = None,
                  progress: Optional[Callable[[str], None]] = None,
-                 bus: Optional[Bus] = None):
+                 bus: Optional[Bus] = None,
+                 retry: Optional[RetryPolicy] = None):
         self.jobs = max(1, jobs if jobs is not None
                         else (os.cpu_count() or 1))
         self.cache_dir = cache_dir
         self.progress = progress
         self.bus = bus
+        #: Worker-failure recovery policy shared with the service pool
+        #: (:mod:`repro.harness.retry`); the default reproduces the
+        #: historical behaviour -- one immediate serial retry -- but
+        #: narrated through ``task_retry`` events instead of silently.
+        self.retry = retry if retry is not None else DEFAULT_POLICY
 
     def _resolve_bus(self) -> Tuple[Bus, bool]:
         """(bus to publish on, whether it is externally observed).
@@ -840,13 +935,18 @@ class ParallelExecutor:
                                 finish(index, elapsed, "pool")
                                 continue
                             try:
-                                run_serial(index, "retry")
+                                _retry_serial(
+                                    self.retry, bus, label(index),
+                                    payload,
+                                    lambda index=index: run_serial(
+                                        index, "retry"))
                             except Exception as exc:
                                 bus.emit("task_error", index=index,
                                          label=label(index),
                                          error=str(exc))
                                 raise RuntimeError(
-                                    f"map item {index} failed twice: "
+                                    f"map item {index} failed in the "
+                                    f"worker and in serial retry: "
                                     f"{exc}\n"
                                     f"--- worker traceback ---\n"
                                     f"{payload}") from exc
@@ -891,15 +991,7 @@ class ParallelExecutor:
         per-item pickle round-trips into one per chunk is the point.
         """
         items = list(items)
-        groups: Dict[object, List[int]] = {}
-        for index, item in enumerate(items):
-            group = key(item) if key is not None else None
-            groups.setdefault(group, []).append(index)
-        batches: List[List[int]] = []
-        for indices in groups.values():
-            step = chunk_size or len(indices)
-            for start in range(0, len(indices), step):
-                batches.append(indices[start:start + step])
+        batches = plan_batches(items, key=key, chunk_size=chunk_size)
         results: List = [_UNSET] * len(items)
         bus, external = self._resolve_bus()
         adapter = (_ProgressAdapter(self.progress, len(batches))
@@ -958,13 +1050,18 @@ class ParallelExecutor:
                                 finish(batch_index, elapsed, "pool")
                                 continue
                             try:
-                                run_serial(batch_index, "retry")
+                                _retry_serial(
+                                    self.retry, bus,
+                                    label(batch_index), payload,
+                                    lambda batch_index=batch_index:
+                                        run_serial(batch_index, "retry"))
                             except Exception as exc:
                                 bus.emit("task_error", index=batch_index,
                                          label=label(batch_index),
                                          error=str(exc))
                                 raise RuntimeError(
-                                    f"batch {batch_index} failed twice: "
+                                    f"batch {batch_index} failed in the "
+                                    f"worker and in serial retry: "
                                     f"{exc}\n"
                                     f"--- worker traceback ---\n"
                                     f"{payload}") from exc
@@ -1012,14 +1109,21 @@ class ParallelExecutor:
                         self._cache_store(specs[index], results[index])
                         finish(index, elapsed, False, False, "pool")
                         continue
-                    # Worker failed: retry serially in the parent so a
-                    # flaky worker cannot sink the sweep; a second
-                    # failure surfaces both tracebacks.
+                    # Worker failed: re-run serially in the parent as
+                    # the retry policy allows, so a flaky worker cannot
+                    # sink the sweep; exhausting the policy surfaces
+                    # both tracebacks.
                     start = time.perf_counter()
                     bus.emit("spec_start", index=index,
                              describe=specs[index].describe())
+
+                    def rerun(index=index):
+                        return _execute_spec(specs[index])
+
                     try:
-                        results[index] = _execute_spec(specs[index])
+                        results[index] = _retry_serial(
+                            self.retry, bus, specs[index].describe(),
+                            payload, rerun)
                     except Exception as exc:
                         bus.emit("spec_error", index=index,
                                  describe=specs[index].describe(),

@@ -74,6 +74,23 @@ EVENT_KINDS: Dict[str, tuple] = {
     #    shipped (group, chunk) task rather than one per item.
     "batch_start": ("index", "label", "size"),
     "batch_finish": ("index", "label", "size", "elapsed_s"),
+    # -- retry/recovery (repro.harness.retry + the service pool): one
+    #    task_retry per re-execution (the old silent serial fallback is
+    #    gone), one task_quarantine when a poison task exhausts its
+    #    policy and is set aside instead of sinking the pool.
+    "task_retry": ("label", "attempt", "delay_s", "error"),
+    "task_quarantine": ("label", "attempts", "error"),
+    # -- work-stealing pool (repro.service.workers): an idle worker
+    #    took a task from the tail of the busiest peer's queue.
+    "steal": ("thief", "victim", "label"),
+    # -- graceful shutdown: a SIGINT/SIGTERM stopped a CLI command or
+    #    the service mid-flight; partial artifacts were flushed.
+    "interrupted": ("signal_name", "command"),
+    # -- service jobs (repro.service): lifecycle of one submitted job.
+    "job_submitted": ("job_id", "job_kind"),
+    "job_start": ("job_id", "job_kind"),
+    "job_progress": ("job_id", "done", "total"),
+    "job_finish": ("job_id", "state", "elapsed_s"),
     # -- crash campaigns (repro.validation.campaign)
     "campaign_start": ("workloads", "designs", "planner", "fault",
                        "budget"),
@@ -306,14 +323,20 @@ class JsonlSink:
     """Bus subscriber writing one JSON object per line.
 
     Lines are flushed per event so a crashed run leaves a readable
-    prefix; ``sort_keys`` keeps the envelope diffable.
+    prefix; ``sort_keys`` keeps the envelope diffable.  ``mode="a"``
+    appends instead of truncating -- the service's per-job event logs
+    span multiple process lifetimes (a resumed job keeps narrating
+    into the same file).
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, mode: str = "w"):
+        if mode not in ("w", "a"):
+            raise ValueError(f"JsonlSink mode must be 'w' or 'a', "
+                             f"not {mode!r}")
         self.path = path
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
-        self._handle: Optional[TextIO] = open(path, "w")
+        self._handle: Optional[TextIO] = open(path, mode)
         self.written = 0
 
     def __call__(self, event: Dict) -> None:

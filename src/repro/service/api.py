@@ -1,0 +1,423 @@
+"""The service daemon and its stdlib-only asyncio HTTP/JSON front end.
+
+:class:`Service` owns the durable :class:`JobStore`, a single
+scheduler thread draining the queue FIFO through :class:`JobRunner`,
+and the process event bus + metrics registry every job narrates into.
+:class:`Api` speaks just enough HTTP/1.1 over ``asyncio.start_server``
+to serve:
+
+========  ======================  =====================================
+method    path                    behaviour
+========  ======================  =====================================
+POST      ``/jobs``               submit a :class:`JobSpec` (idempotent
+                                  on content; ``{"force": true}``
+                                  re-queues a finished job)
+GET       ``/jobs``               all job records
+GET       ``/jobs/{id}``          one record (spec + journal tail)
+GET       ``/jobs/{id}/report``   the finished report document
+GET       ``/jobs/{id}/events``   **streaming NDJSON**: the job's bus
+                                  events, tailed live until terminal
+POST      ``/jobs/{id}/cancel``   cancel (queued: immediate; running:
+                                  honoured between tasks)
+GET       ``/healthz``            liveness + queue counts
+GET       ``/metrics``            Prometheus text exposition 0.0.4
+========  ======================  =====================================
+
+Every response closes the connection (``Connection: close``): clients
+are thin pollers, not connection pools, and it keeps the parser a
+page long.  The event stream has no ``Content-Length`` -- the close is
+the terminator, exactly like ``curl -N`` expects.
+
+Jobs run strictly one at a time: parallelism lives *inside* a job (the
+work-stealing pool), so two campaigns never fight over cores, and the
+journal's single-writer invariant holds for free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from ..harness.retry import RetryPolicy
+from ..obsv.bus import EventBus, JsonlSink, bus_scope
+from ..obsv.registry import MetricsRegistry
+from ..telemetry import get_logger
+from .jobs import (
+    RESUMABLE_STATES,
+    JobError,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    _append_jsonl,
+)
+from .runner import JobRunner
+
+log = get_logger("service.api")
+
+API_VERSION = 1
+
+
+# ---------------------------------------------------------------- Service
+
+
+class Service:
+    """The long-running half: store + scheduler + bus + registry."""
+
+    def __init__(self, root: str, workers: int = 1,
+                 retry: Optional[RetryPolicy] = None,
+                 task_timeout_s: Optional[float] = None):
+        self.store = JobStore(root)
+        self.registry = MetricsRegistry()
+        self.bus = EventBus(registry=self.registry)
+        self.bus.subscribe(self.registry.observe_event)
+        self._interrupt = threading.Event()
+        self.runner = JobRunner(self.store, workers=workers,
+                                retry=retry,
+                                task_timeout_s=task_timeout_s,
+                                bus=self.bus,
+                                interrupt=self._interrupt.is_set)
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.started_at = time.time()
+        self.current_job: Optional[str] = None
+        self.jobs_run = 0
+
+    # -------------------------------------------------------- lifecycle
+
+    def start(self) -> List[JobRecord]:
+        """Recover unfinished jobs, then start the scheduler thread.
+        Returns the records the restart re-queued."""
+        resumed = self.store.recover()
+        for record in resumed:
+            log.info("resuming job %s (%s, was %s)", record.job_id,
+                     record.spec.describe(),
+                     record.detail.get("previous", "?"))
+        self._thread = threading.Thread(
+            target=self._scheduler, daemon=True,
+            name="repro-service-scheduler")
+        self._thread.start()
+        return resumed
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        """Graceful shutdown: stop dispatching, interrupt the running
+        job between tasks (it journals ``interrupted`` and will resume
+        on the next start), join the scheduler."""
+        self._stop.set()
+        self._interrupt.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+
+    def _scheduler(self) -> None:
+        # The scheduler installs the service bus as the process bus so
+        # the campaign engine / executor publish without being told;
+        # nothing else in this process emits, so global scope is safe.
+        with bus_scope(self.bus):
+            while not self._stop.is_set():
+                queued = self.store.queued_ids()
+                if not queued:
+                    self._wake.wait(timeout=0.5)
+                    self._wake.clear()
+                    continue
+                job_id = queued[0]
+                self.current_job = job_id
+                # Per-job NDJSON event log, appended across resumes.
+                sink = JsonlSink(self.store.events_path(job_id),
+                                 mode="a")
+                self.bus.subscribe(sink)
+                try:
+                    self.runner.run_job(job_id)
+                    self.jobs_run += 1
+                except Exception:
+                    log.exception("job %s crashed the runner", job_id)
+                finally:
+                    self.bus.unsubscribe(sink)
+                    sink.close()
+                    self.current_job = None
+
+    # ------------------------------------------------------- operations
+
+    def submit(self, spec: JobSpec, force: bool = False) -> JobRecord:
+        record = self.store.submit(spec, force=force)
+        # Emitted on the bus for metrics AND appended to the job's own
+        # event file directly -- the per-job sink only subscribes while
+        # the job runs, and submission happens before that.
+        event = self.bus.emit("job_submitted", job_id=record.job_id,
+                              job_kind=record.spec.kind)
+        if event is not None:
+            _append_jsonl(self.store.events_path(record.job_id), event)
+        self._wake.set()
+        return record
+
+    def cancel(self, job_id: str) -> JobRecord:
+        record = self.store.request_cancel(job_id)
+        self._wake.set()
+        return record
+
+    def health(self) -> Dict:
+        counts: Dict[str, int] = {}
+        for record in self.store.list_records():
+            counts[record.state] = counts.get(record.state, 0) + 1
+        return {
+            "ok": True,
+            "api_version": API_VERSION,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "current_job": self.current_job,
+            "jobs_run": self.jobs_run,
+            "jobs": counts,
+        }
+
+
+# -------------------------------------------------------------- HTTP api
+
+
+class HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                404: "Not Found", 405: "Method Not Allowed",
+                500: "Internal Server Error"}
+
+
+def _head(status: int, content_type: str,
+          length: Optional[int]) -> bytes:
+    lines = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}",
+             f"Content-Type: {content_type}",
+             "Connection: close"]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode()
+
+
+class Api:
+    """Request handler bound to one :class:`Service`."""
+
+    def __init__(self, service: Service):
+        self.service = service
+
+    # ------------------------------------------------------------ plumb
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        method = path = "?"
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except (asyncio.IncompleteReadError, ValueError, OSError):
+                return
+            await self._route(method, path, body, writer)
+        except HttpError as exc:
+            await self._send_json(writer, {"error": exc.message},
+                                  status=exc.status)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except Exception as exc:        # surface, never hang the client
+            log.exception("request %s %s failed", method, path)
+            try:
+                await self._send_json(writer, {"error": str(exc)},
+                                      status=500)
+            except OSError:
+                pass
+        finally:
+            try:
+                writer.close()
+            except OSError:
+                pass
+
+    async def _read_request(self, reader
+                            ) -> Tuple[str, str, Optional[Dict]]:
+        request_line = (await reader.readline()).decode("latin-1")
+        if not request_line.strip():
+            raise ValueError("empty request")
+        method, target, _version = request_line.split(None, 2)
+        headers = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = None
+        length = int(headers.get("content-length", 0) or 0)
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw.decode())
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                raise HttpError(400, "request body is not JSON")
+        return method.upper(), urlsplit(target).path, body
+
+    async def _send_json(self, writer, payload, status: int = 200
+                         ) -> None:
+        blob = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        writer.write(_head(status, "application/json", len(blob)))
+        writer.write(blob)
+        await writer.drain()
+
+    async def _send_text(self, writer, text: str,
+                         content_type: str = "text/plain; version=0.0.4",
+                         status: int = 200) -> None:
+        blob = text.encode()
+        writer.write(_head(status, content_type, len(blob)))
+        writer.write(blob)
+        await writer.drain()
+
+    # ------------------------------------------------------------ routes
+
+    async def _route(self, method: str, path: str,
+                     body: Optional[Dict], writer) -> None:
+        parts = [part for part in path.split("/") if part]
+        if parts == ["healthz"] and method == "GET":
+            await self._send_json(writer, self.service.health())
+        elif parts == ["metrics"] and method == "GET":
+            await self._send_text(writer,
+                                  self.service.registry.to_prometheus())
+        elif parts == ["jobs"] and method == "GET":
+            records = [r.to_dict()
+                       for r in self.service.store.list_records()]
+            await self._send_json(writer, {"jobs": records})
+        elif parts == ["jobs"] and method == "POST":
+            await self._submit(body, writer)
+        elif len(parts) == 2 and parts[0] == "jobs" and method == "GET":
+            await self._send_json(writer,
+                                  self._record(parts[1]).to_dict())
+        elif (len(parts) == 3 and parts[0] == "jobs"
+                and parts[2] == "report" and method == "GET"):
+            record = self._record(parts[1])
+            report = self.service.store.load_report(record.job_id)
+            if report is None:
+                raise HttpError(404, f"job {record.job_id} has no "
+                                     f"report (state {record.state})")
+            await self._send_json(writer, report)
+        elif (len(parts) == 3 and parts[0] == "jobs"
+                and parts[2] == "cancel" and method == "POST"):
+            record = self.service.cancel(self._record(parts[1]).job_id)
+            await self._send_json(writer, record.to_dict())
+        elif (len(parts) == 3 and parts[0] == "jobs"
+                and parts[2] == "events" and method == "GET"):
+            await self._stream_events(self._record(parts[1]), writer)
+        else:
+            raise HttpError(
+                404 if method in ("GET", "POST") else 405,
+                f"no route for {method} {path}")
+
+    def _record(self, job_id: str) -> JobRecord:
+        try:
+            return self.service.store.record(job_id)
+        except JobError as exc:
+            raise HttpError(404, str(exc)) from None
+
+    async def _submit(self, body: Optional[Dict], writer) -> None:
+        if not isinstance(body, dict):
+            raise HttpError(400, "POST /jobs needs a JSON JobSpec body")
+        force = bool(body.pop("force", False))
+        try:
+            spec = JobSpec.from_dict(body)
+        except (JobError, KeyError, TypeError, ValueError) as exc:
+            raise HttpError(400, f"bad job spec: {exc}") from None
+        record = self.service.submit(spec, force=force)
+        await self._send_json(writer, record.to_dict(), status=202)
+
+    async def _stream_events(self, record: JobRecord, writer) -> None:
+        """NDJSON tail of the job's event log, live until terminal.
+
+        Replays everything already journaled, then follows appends;
+        ends (connection close) once the job is terminal and the file
+        is drained.  A torn trailing line (service killed mid-write)
+        is held back until its newline arrives.
+        """
+        writer.write(_head(200, "application/x-ndjson", None))
+        await writer.drain()
+        path = self.service.store.events_path(record.job_id)
+        offset = 0
+        pending = b""
+        while True:
+            chunk = b""
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+            except OSError:
+                pass
+            if chunk:
+                offset += len(chunk)
+                pending += chunk
+                lines = pending.split(b"\n")
+                pending = lines.pop()        # incomplete tail, if any
+                for line in lines:
+                    if line.strip():
+                        writer.write(line + b"\n")
+                await writer.drain()
+            state = self.service.store.record(record.job_id).state
+            if state not in RESUMABLE_STATES and not chunk:
+                break
+            await asyncio.sleep(0.2)
+
+
+# ------------------------------------------------------------ entrypoint
+
+
+def run_service(root: str, host: str = "127.0.0.1", port: int = 8642,
+                workers: int = 1,
+                task_timeout_s: Optional[float] = None,
+                retry: Optional[RetryPolicy] = None,
+                ready_file: Optional[str] = None) -> int:
+    """Boot a :class:`Service` + HTTP front end and block until
+    SIGINT/SIGTERM.
+
+    Recovery runs first (unfinished jobs re-queue), then the listener
+    comes up; ``ready_file`` (if given) receives ``host port`` once
+    the socket is bound -- tests and CI pass ``port=0`` and read the
+    kernel-assigned port from there.  Returns the intended process
+    exit code: ``128 + signum`` for a signal-driven shutdown.
+    """
+    service = Service(root, workers=workers, retry=retry,
+                      task_timeout_s=task_timeout_s)
+    service.start()
+    outcome = {"code": 0}
+
+    async def _main() -> None:
+        api = Api(service)
+        server = await asyncio.start_server(api.handle, host, port)
+        bound = server.sockets[0].getsockname()
+        log.info("repro service listening on http://%s:%d (root %s, "
+                 "workers %d)", bound[0], bound[1], service.store.root,
+                 service.runner.workers)
+        if ready_file:
+            with open(ready_file, "w") as handle:
+                handle.write(f"{bound[0]} {bound[1]}\n")
+                handle.flush()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        def _on_signal(signum: int) -> None:
+            log.warning("received %s; draining and shutting down",
+                        signal.Signals(signum).name)
+            outcome["code"] = 128 + signum
+            stop.set()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda s=signum: _on_signal(s))
+            except (NotImplementedError, RuntimeError):
+                signal.signal(signum,
+                              lambda s, _frame: _on_signal(s))
+        async with server:
+            await stop.wait()
+        server.close()
+
+    asyncio.run(_main())
+    service.stop()
+    log.info("service stopped (exit %d)", outcome["code"])
+    return outcome["code"]

@@ -1,0 +1,114 @@
+"""Thin stdlib HTTP client for the service (``repro submit/status``).
+
+One connection per call, JSON in/out, no retries beyond the user's
+loop: the service is the stateful side; this is deliberately just
+``urllib`` with the routes spelled out.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional
+
+from .jobs import TERMINAL_STATES, JobSpec
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response, carrying the server's error message."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Client for one service base URL (``http://host:port``)."""
+
+    def __init__(self, url: str, timeout_s: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ---------------------------------------------------------- plumbing
+
+    def _open(self, method: str, path: str, payload=None,
+              timeout_s: Optional[float] = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.url}{path}", data=data, headers=headers,
+            method=method)
+        try:
+            return urllib.request.urlopen(
+                request, timeout=timeout_s or self.timeout_s)
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode()).get(
+                    "error", exc.reason)
+            except (ValueError, OSError):
+                message = str(exc.reason)
+            raise ServiceError(exc.code, message) from None
+
+    def _json(self, method: str, path: str, payload=None) -> Dict:
+        with self._open(method, path, payload) as response:
+            return json.loads(response.read().decode())
+
+    # ------------------------------------------------------------ routes
+
+    def health(self) -> Dict:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> str:
+        with self._open("GET", "/metrics") as response:
+            return response.read().decode()
+
+    def jobs(self) -> List[Dict]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def submit(self, spec: JobSpec, force: bool = False) -> Dict:
+        payload = spec.to_dict()
+        if force:
+            payload["force"] = True
+        return self._json("POST", "/jobs", payload)
+
+    def job(self, job_id: str) -> Dict:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def report(self, job_id: str) -> Dict:
+        return self._json("GET", f"/jobs/{job_id}/report")
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._json("POST", f"/jobs/{job_id}/cancel")
+
+    # --------------------------------------------------------- consumers
+
+    def wait(self, job_id: str, timeout_s: float = 600.0,
+             poll_s: float = 0.5) -> Dict:
+        """Poll until the job is terminal; returns the final record."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            record = self.job(job_id)
+            if record["state"] in TERMINAL_STATES:
+                return record
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after "
+                    f"{timeout_s:.0f}s")
+            time.sleep(poll_s)
+
+    def events(self, job_id: str,
+               timeout_s: Optional[float] = None) -> Iterator[Dict]:
+        """Stream the job's NDJSON events until the server closes the
+        stream (i.e. the job reached a terminal state)."""
+        response = self._open("GET", f"/jobs/{job_id}/events",
+                              timeout_s=timeout_s or 3600.0)
+        with response:
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line.decode())

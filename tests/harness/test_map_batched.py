@@ -119,7 +119,7 @@ class TestFailureHandling:
         # boom_on_odd_batch fails in the pool *and* in the parent, so
         # the error must surface with the worker traceback attached.
         executor = ParallelExecutor(jobs=2)
-        with pytest.raises(RuntimeError, match="failed twice"):
+        with pytest.raises(RuntimeError, match="failed in the worker and in serial retry"):
             executor.map_batched(boom_on_odd_batch, [1, 3, 2, 4],
                                  key=parity, chunk_size=2)
 

@@ -1,0 +1,118 @@
+"""HTTP surface end-to-end: one real ``repro serve`` subprocess per
+module, driven through :class:`ServiceClient` -- submit, poll, stream
+NDJSON events (schema-validated), scrape metrics, and shut down
+gracefully on SIGTERM (exit ``128 + 15``)."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.obsv import validate_events
+from repro.service import JobSpec, ServiceClient, ServiceError
+
+SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def tiny_campaign() -> JobSpec:
+    return JobSpec.campaign(["hashmap"], ["PMEM-Spec"], budget=4,
+                            fases_per_thread=4, snapshot_rungs=4,
+                            batch=2, name="api-test")
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    root = tmp_path_factory.mktemp("service")
+    ready = root / "ready.txt"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.harness", "serve",
+         "--service-root", str(root / "store"), "--port", "0",
+         "--ready-file", str(ready), "--jobs", "2"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+    deadline = time.monotonic() + 30.0
+    while not (ready.exists() and ready.read_text().strip()):
+        if proc.poll() is not None:
+            raise RuntimeError("serve exited early:\n"
+                               + proc.stderr.read().decode())
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("serve never wrote the ready file")
+        time.sleep(0.05)
+    host, port = ready.read_text().split()
+    try:
+        yield ServiceClient(f"http://{host}:{port}", timeout_s=10.0)
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=20)
+        assert code == 128 + signal.SIGTERM, (
+            f"graceful shutdown exit code was {code}")
+
+
+@pytest.fixture(scope="module")
+def done_job(server):
+    accepted = server.submit(tiny_campaign())
+    record = server.wait(accepted["job_id"], timeout_s=120.0)
+    assert record["state"] == "done", record
+    return record["job_id"]
+
+
+def test_healthz(server):
+    health = server.health()
+    assert health["ok"] is True
+    assert health["api_version"] == 1
+
+
+def test_submitted_job_runs_to_done(server, done_job):
+    record = server.job(done_job)
+    assert record["state"] == "done"
+    assert record["detail"]["tasks_executed"] > 0
+    assert any(item["job_id"] == done_job for item in server.jobs())
+
+
+def test_report_is_served(server, done_job):
+    report = server.report(done_job)
+    assert report["schema_version"] >= 1
+    assert report["cells"]
+
+
+def test_resubmit_is_idempotent(server, done_job):
+    accepted = server.submit(tiny_campaign())
+    assert accepted["job_id"] == done_job
+    assert accepted["state"] == "done"
+
+
+def test_event_stream_is_schema_valid(server, done_job):
+    events = list(server.events(done_job, timeout_s=30.0))
+    assert validate_events(events) == []
+    kinds = {event["kind"] for event in events}
+    assert {"job_submitted", "job_start", "job_progress",
+            "job_finish", "trial_finish"} <= kinds
+
+
+def test_metrics_scrape(server, done_job):
+    text = server.metrics()
+    assert "repro_jobs_total" in text
+    assert "repro_job_seconds" in text
+
+
+def test_unknown_job_is_404(server):
+    with pytest.raises(ServiceError) as excinfo:
+        server.job("deadbeefdeadbeefdeadbeef")
+    assert excinfo.value.status == 404
+
+
+def test_bad_submit_is_400(server):
+    with pytest.raises(ServiceError) as excinfo:
+        server._json("POST", "/jobs", {"kind": "mapreduce",
+                                       "params": {}})
+    assert excinfo.value.status == 400
+
+
+def test_cancel_of_terminal_job_is_noop(server, done_job):
+    assert server.cancel(done_job)["state"] == "done"
