@@ -1,0 +1,38 @@
+"""Durable-state enumeration: the set-of-images crash oracle.
+
+Campaigns before this package validated recovery against the *one*
+durable image the simulator happened to materialize at each crash
+point.  Each persistency design's formal model admits a whole **set**
+of durable states -- strict persistency admits exactly the
+persist-order prefixes, epoch designs admit any order-respecting subset
+of the open epochs (Px86, *Taming x86-TSO Persistency*), and PMEM-Spec
+admits prefixes modulo in-flight speculative persists.  This package
+enumerates that set per design (:mod:`.models`), replays recovery from
+every enumerated image (:mod:`.checker`), and ships a Px86-style litmus
+suite with declared expected sets as the fast tier (:mod:`.litmus`).
+
+See docs/VALIDATION.md part II for the per-design semantics table and
+the litmus authoring guide.
+"""
+
+from .models import (  # noqa: F401
+    DEFAULT_BUDGET,
+    MODEL_FOR_DESIGN,
+    PersistRecord,
+    StateSet,
+    enumerate_durable_states,
+    materialize_image,
+    order_context_from_history,
+    records_from_device_history,
+)
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "MODEL_FOR_DESIGN",
+    "PersistRecord",
+    "StateSet",
+    "enumerate_durable_states",
+    "materialize_image",
+    "order_context_from_history",
+    "records_from_device_history",
+]

@@ -1,0 +1,290 @@
+"""Image applicator + recovery checker: prove recovery converges from
+*every* durable state the design's model allows.
+
+One :func:`check_cell` call runs a cell's canonical laddered run once
+(device history recording on, rung payloads kept in memory), then for
+each requested crash cycle:
+
+1. **acquire** the machine state at the cycle by restoring the nearest
+   in-memory rung and replaying the tail (the PR 4 snapshot layer: a
+   rung-restore, not a cold boot; ``snapshot_every=0`` degrades to the
+   cold path so the speedup is measurable),
+2. **pin** the model's floor image -- every record applied -- against
+   the simulator's own ``persisted_snapshot()``, byte for byte (this is
+   the end-to-end check that record grouping and materialisation are
+   faithful),
+3. **enumerate** the durable-state set (:mod:`.models`) under the
+   enumeration budget,
+4. **judge** every image offline: apply the fault's snapshot mutation,
+   run recovery, and ask the workload's structural validator; the
+   persist-order oracle judges the cycle's history once alongside.
+
+Failures are bisection-shrunk (PR 3 ``shrink.py``) to a minimal
+``(crash cycle, image)`` witness, where the image is reported as the
+set of *dropped* records -- the compact reproducer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from ..obsv.bus import get_bus
+from ..runtime.recovery import run_recovery
+from ..snapshot import nearest_rung
+from ..telemetry import get_logger
+from ..validation.campaign import (TrialSpec, _build, _oracle_for,
+                                   _pre_tuple_events, _private_copy)
+from ..validation.faults import fault_by_name
+from ..validation.history import events_to_history, truncate_history
+from ..validation.shrink import shrink_crash_cycle
+from .models import (DEFAULT_BUDGET, MODEL_FOR_DESIGN,
+                     enumerate_durable_states, order_context_from_history,
+                     records_from_device_history)
+
+CRASH_STATES_SCHEMA_VERSION = 1
+
+#: Failing images reported per cycle before eliding (witness stays).
+_FAILING_IMAGE_CAP = 3
+
+log = get_logger("crashstates.checker")
+
+
+def _image_fingerprint(image: Dict[int, int]) -> str:
+    blob = ",".join(f"{a:x}:{v:x}" for a, v in sorted(image.items()))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+class _Cell:
+    """The resident canonical run one cell's image checks restore into."""
+
+    def __init__(self, spec: TrialSpec, restore: bool = True):
+        base = replace(spec, crash_cycle=0, snapshot_dir=None)
+        self.spec = base
+        # restore=False keeps the ladder's timing universe (parking is
+        # part of trial timing) but cold-boots every acquire -- the
+        # apples-to-apples baseline the crashstates bench gates against.
+        self.restore = restore
+        started = time.perf_counter()
+        self.workload, self.system, _fault, self.recorder, ladder = \
+            _build(base, capture=True, keep_rungs=True)
+        # The device history is the enumerator's input; the flag is not
+        # part of captured state, so it survives every restore below.
+        self.system.device.record_history = True
+        self.initial_image = dict(self.system.device.snapshot())
+        self.initial_payload = _pre_tuple_events(
+            _private_copy(self.system.capture_state()))
+        result = self.system.run()
+        self.total_cycles = result.cycles
+        self.rungs: List[Dict] = []
+        if ladder is not None:
+            for rung in ladder.rungs:
+                payload = rung.get("payload")
+                if payload is None:
+                    continue
+                rung = dict(rung)
+                rung["payload"] = _pre_tuple_events(_private_copy(payload))
+                self.rungs.append(rung)
+        self.canonical_s = time.perf_counter() - started
+
+    def acquire(self, crash_cycle: int):
+        """Restore the nearest rung and replay to the crash; returns
+        ``(fault, restored_from, horizon)`` with the system positioned
+        exactly as a campaign trial's cut point."""
+        fault = fault_by_name(self.spec.fault)
+        fault.arm(self.system)
+        rung = (nearest_rung(self.rungs, crash_cycle)
+                if self.restore else None)
+        if rung is not None:
+            self.system.restore_state(rung["payload"])
+            restored_from: Optional[int] = rung["cycle"]
+        else:
+            self.system.restore_state(self.initial_payload)
+            restored_from = None
+        done = self.system.launch()
+        self.system.advance(until=crash_cycle, stop_event=done)
+        if self.system.env.now < crash_cycle:
+            self.system.advance(until=crash_cycle)
+        fault.at_crash(self.system, crash_cycle)
+        return fault, restored_from, self.system.env.now
+
+
+def _check_cycle(cell: _Cell, crash_cycle: int, image_budget: int,
+                 timings: Dict[str, float]) -> Dict:
+    """Acquire, pin, enumerate, and judge one crash cycle."""
+    spec = cell.spec
+    bus = get_bus()
+    t0 = time.perf_counter()
+    fault, restored_from, horizon = cell.acquire(crash_cycle)
+    snapshot = cell.system.persisted_snapshot()
+    history = truncate_history(
+        events_to_history(cell.recorder.events()), horizon)
+    t1 = time.perf_counter()
+
+    records = records_from_device_history(cell.system.device.history,
+                                          horizon=horizon)
+    context = order_context_from_history(
+        history, horizon,
+        window=cell.system.config.speculation_window_cycles)
+    states = enumerate_durable_states(
+        spec.design, records, horizon, context=context,
+        budget=image_budget, seed=spec.seed)
+    floor_matches = states.floor_image(cell.initial_image) == snapshot
+    t2 = time.perf_counter()
+
+    oracle_violations = [
+        v.to_dict() for v in _oracle_for(cell.system).check(history)]
+    bus.emit("image_enumerated", workload=spec.workload,
+             design=spec.design, crash_cycle=crash_cycle,
+             n_images=states.n_states, truncated=states.truncated,
+             model=states.model)
+
+    failing: List[Dict] = []
+    images_failed = 0
+    for state, image in states.images(cell.initial_image):
+        fault.mutate_snapshot(image, spec.n_threads)
+        report = run_recovery(image, spec.n_threads,
+                              log_mode=spec.log_mode)
+        problems = cell.workload.validate_recovered(report.data_image())
+        bus.emit("image_check", workload=spec.workload,
+                 design=spec.design, crash_cycle=crash_cycle,
+                 consistent=not problems, n_violations=len(problems))
+        if problems:
+            images_failed += 1
+            if len(failing) < _FAILING_IMAGE_CAP:
+                dropped = sorted(set(states.uncertain) - set(state))
+                failing.append({
+                    "dropped_records": dropped,
+                    "kept_records": len(states.kept_indices(state)),
+                    "image_fingerprint": _image_fingerprint(image),
+                    "violations": problems[:4],
+                })
+    t3 = time.perf_counter()
+    timings["acquire_s"] += t1 - t0
+    timings["enumerate_s"] += t2 - t1
+    timings["check_s"] += t3 - t2
+
+    consistent = (floor_matches and images_failed == 0
+                  and not oracle_violations)
+    payload = dict(states.to_dict())
+    payload.update({
+        "crash_cycle": crash_cycle,
+        "horizon": horizon,
+        "restored_from": restored_from,
+        "floor_matches": floor_matches,
+        "images_failed": images_failed,
+        "failing_images": failing,
+        "oracle_violations": oracle_violations,
+        "consistent": consistent,
+    })
+    return payload
+
+
+def check_cell(spec: TrialSpec, crash_cycles: Sequence[int],
+               image_budget: int = DEFAULT_BUDGET,
+               shrink: bool = True,
+               progress=None,
+               restore: bool = True) -> Dict:
+    """Enumerate and judge every durable state of one campaign cell.
+
+    ``spec.crash_cycle`` is ignored; ``crash_cycles`` drives the loop.
+    ``spec.snapshot_every`` sizes the in-memory rung ladder the image
+    checks restore from.  ``restore=False`` keeps that ladder's timing
+    universe but cold-boots every acquire -- the apples-to-apples
+    baseline the crashstates benchmark gates against (``snapshot_every
+    = 0`` also degrades to cold acquires, but in a *different* timing
+    universe: parking is part of trial timing, so its record stream is
+    not comparable).  The payload is a pure function of ``(spec,
+    crash_cycles, image_budget, restore)`` except for its ``timings``
+    entry and the provenance-only ``restored_from`` fields.
+    """
+    fault_probe = fault_by_name(spec.fault)
+    if fault_probe.run_to_completion:
+        # A virtual fault leaves the power on and the machine running:
+        # there is no cut image, hence no durable-state set to check.
+        return {
+            "schema_version": CRASH_STATES_SCHEMA_VERSION,
+            "workload": spec.workload, "design": spec.design,
+            "fault": spec.fault,
+            "model": MODEL_FOR_DESIGN.get(spec.design, "strict"),
+            "skipped": "fault runs to completion (no power-cut image)",
+            "cycles": [], "consistent": True,
+        }
+
+    cell = _Cell(spec, restore=restore)
+    timings = {"canonical_s": cell.canonical_s, "acquire_s": 0.0,
+               "enumerate_s": 0.0, "check_s": 0.0}
+    cycle_payloads: List[Dict] = []
+    outcomes: Dict[int, Dict] = {}
+    for crash_cycle in sorted(set(crash_cycles)):
+        payload = _check_cycle(cell, crash_cycle, image_budget, timings)
+        outcomes[crash_cycle] = payload
+        cycle_payloads.append(payload)
+        if progress is not None:
+            progress(f"{spec.workload}/{spec.design}@{crash_cycle}: "
+                     f"{payload['n_states']} images, "
+                     f"{payload['images_failed']} failed")
+
+    failing_cycles = [p["crash_cycle"] for p in cycle_payloads
+                      if not p["consistent"]]
+    shrink_payload = None
+    witness = None
+    if failing_cycles and shrink:
+        def fails(cycle: int) -> bool:
+            if cycle not in outcomes:
+                outcomes[cycle] = _check_cycle(cell, cycle, image_budget,
+                                               timings)
+            return not outcomes[cycle]["consistent"]
+
+        shrunk = shrink_crash_cycle(fails, failing_cycles[0])
+        shrink_payload = shrunk.to_dict()
+        minimal = outcomes[shrunk.minimal_cycle]
+        # The minimal image witness: states are ordered smallest-first,
+        # so the first failing image drops the most records.
+        image = (minimal["failing_images"][0]
+                 if minimal["failing_images"] else None)
+        witness = {
+            "crash_cycle": shrunk.minimal_cycle,
+            "image": image,
+            "oracle_violations": minimal["oracle_violations"][:4],
+            "floor_matches": minimal["floor_matches"],
+        }
+    elif failing_cycles:
+        minimal = outcomes[failing_cycles[0]]
+        witness = {
+            "crash_cycle": failing_cycles[0],
+            "image": (minimal["failing_images"][0]
+                      if minimal["failing_images"] else None),
+            "oracle_violations": minimal["oracle_violations"][:4],
+            "floor_matches": minimal["floor_matches"],
+        }
+
+    images_enumerated = sum(p["n_states"] for p in cycle_payloads)
+    return {
+        "schema_version": CRASH_STATES_SCHEMA_VERSION,
+        "workload": spec.workload, "design": spec.design,
+        "fault": spec.fault,
+        "model": MODEL_FOR_DESIGN.get(spec.design, "strict"),
+        "seed": spec.seed,
+        "image_budget": image_budget,
+        "snapshot_every": cell.spec.snapshot_every,
+        "total_cycles": cell.total_cycles,
+        "cycles_checked": len(cycle_payloads),
+        "images_enumerated": images_enumerated,
+        "images_checked": images_enumerated,
+        "images_failed": sum(p["images_failed"] for p in cycle_payloads),
+        "truncated_cycles": sum(1 for p in cycle_payloads
+                                if p["truncated"]),
+        "floor_mismatches": sum(1 for p in cycle_payloads
+                                if not p["floor_matches"]),
+        "restored_cycles": sum(1 for p in cycle_payloads
+                               if p["restored_from"] is not None),
+        "cycles": cycle_payloads,
+        "consistent": not failing_cycles,
+        "shrink": shrink_payload,
+        "witness": witness,
+        "skipped": None,
+        "timings": timings,
+    }

@@ -1,0 +1,459 @@
+"""Per-design durable-state models: enumerate the PM images a
+persistency design's formal guarantees allow at a crash point.
+
+The device history (``PMDevice.history``: ``(cycle, addr, value,
+origin)`` tuples, recorded when ``record_history`` is on) is first
+grouped into :class:`PersistRecord` units of cache-line atomicity.
+Each design's model then splits the records at a crash cycle into a
+mandatory **floor** and a set of **uncertain** records, and expresses
+the design's ordering guarantees as a partial order over the uncertain
+ones.  The durable states are exactly the *order ideals* (downward-
+closed subsets) of that poset, each unioned with the floor:
+
+``strict`` (DPO, and the fallback for unknown designs)
+    Every global acceptance-order prefix.  Sound for *every* design --
+    the crash could simply have happened earlier -- which is why it is
+    the safe fallback; for buffered-strict designs it is also exact.
+
+``epoch`` (IntelX86)
+    Records attributed to a flush (clwb) whose epoch closed -- an
+    sfence of the flushing core retired at or before the crash -- are
+    floor, as are unattributed records (natural LLC evictions, already
+    accepted by the ADR domain).  Open-epoch flushes are droppable in
+    any order, subject to per-block chains: keeping a later write to a
+    block requires every earlier surviving write to that block (the PMC
+    serializes same-line updates).  This is the Px86-style "powerset
+    within open epochs" set (*Taming x86-TSO Persistency*).
+
+``percore`` (HOPS, StrandWeaver)
+    Per core, drains accepted at or before that core's last retired
+    dfence are floor (the core stalls during a dfence, so nothing it
+    issued afterwards can have been accepted earlier).  The droppable
+    tail is a per-core chain in acceptance order; states are the
+    cross-product of per-core tail prefixes.  For StrandWeaver this is
+    a *conservative approximation*: true strand semantics would let
+    independent strands drop out of issue order, so the enumerated set
+    is a subset of the formal one (never a superset -- no false
+    positives).
+
+``spec`` (PMEM-Spec)
+    Prefixes modulo in-flight speculative persists.  A record is an
+    in-flight "hole" when it is spec-tagged, still inside the
+    speculation window at the crash (``cycle > crash - window``), and
+    has no later untagged record from its core (a later untagged
+    record -- the FASE's commit write -- means the speculation
+    resolved).  Holes belong to FASEs whose commit never persisted, so
+    recovery rolls them back regardless of which subset survived;
+    dropping any hole subset is therefore sound.  Everything else forms
+    the backbone, a global chain (prefix semantics); a hole additionally
+    requires its nearest earlier backbone record and its core's earlier
+    holes.
+
+Enumeration is budgeted: exhaustive (with prefix-sharing DFS) when the
+ideal count fits the budget, seeded stratified sampling above it with
+``truncated=True`` recorded -- never a silent cap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+from ..validation import history as H
+
+DEFAULT_BUDGET = 64
+
+#: Which durable-state model applies to each persistency design.  The
+#: fallback for designs not listed is "strict" (sound for everything).
+MODEL_FOR_DESIGN = {
+    "DPO": "strict",
+    "IntelX86": "epoch",
+    "HOPS": "percore",
+    "StrandWeaver": "percore",
+    "PMEM-Spec": "spec",
+}
+
+
+class PersistRecord(NamedTuple):
+    """One atomically-durable unit of the device history.
+
+    Consecutive device-history entries sharing (cycle, origin) and
+    cache-line block are one record: ``persist_block`` appends one
+    entry per byte of a line, and a line lands on media atomically.
+    """
+
+    index: int
+    cycle: int
+    block: int
+    writes: Tuple[Tuple[int, int], ...]   # (addr, value) in entry order
+    origin: str
+    core: Optional[int]                   # parsed from origin, if any
+    spec_id: int                          # parsed from origin, else 0
+
+    @property
+    def tagged(self) -> bool:
+        return self.spec_id != 0
+
+
+def parse_origin(origin: str) -> Tuple[Optional[int], int]:
+    """``(core, spec_id)`` encoded in a device-history origin string.
+
+    Recognised shapes: ``drain:c<core>`` (buffered designs' persist
+    buffers) and ``persist:c<core>:s<spec>`` (PMEM-Spec's persist
+    path).  Anything else -- ``writeback``, ``persist-path``,
+    ``recovery`` -- is unattributed.
+    """
+    if origin.startswith("drain:c"):
+        try:
+            return int(origin[7:]), 0
+        except ValueError:
+            return None, 0
+    if origin.startswith("persist:c"):
+        core, _, spec = origin[9:].partition(":s")
+        try:
+            return int(core), int(spec) if spec else 0
+        except ValueError:
+            return None, 0
+    return None, 0
+
+
+def records_from_device_history(
+        history: Iterable[Tuple[int, int, int, str]],
+        horizon: Optional[int] = None) -> List[PersistRecord]:
+    """Group raw device-history entries into :class:`PersistRecord` s.
+
+    ``horizon`` keeps entries with ``cycle <= horizon`` (inclusive, the
+    ADR acceptance-is-durability convention).  Recovery's own writes
+    (origin ``recovery``) are not part of the pre-crash history and are
+    skipped.
+    """
+    records: List[PersistRecord] = []
+    run: List[Tuple[int, int]] = []
+    run_key: Optional[Tuple[int, str, int]] = None
+
+    def close_run() -> None:
+        if run_key is None:
+            return
+        cycle, origin, block = run_key
+        core, spec_id = parse_origin(origin)
+        records.append(PersistRecord(len(records), cycle, block,
+                                     tuple(run), origin, core, spec_id))
+
+    for cycle, addr, value, origin in history:
+        if horizon is not None and cycle > horizon:
+            continue
+        if origin == "recovery":
+            continue
+        key = (cycle, origin, addr >> 6)
+        if key != run_key:
+            close_run()
+            run_key = key
+            run = []
+        run.append((addr, value))
+    close_run()
+    return records
+
+
+def materialize_image(records: List[PersistRecord],
+                      kept: Iterable[int],
+                      base_image: Dict[int, int]) -> Dict[int, int]:
+    """Fold the kept records, in acceptance order, over a base image."""
+    keep = set(kept)
+    image = dict(base_image)
+    for record in records:
+        if record.index in keep:
+            for addr, value in record.writes:
+                image[addr] = value
+    return image
+
+
+class OrderContext(NamedTuple):
+    """Ordering facts the relaxed models consume.
+
+    ``flushes`` are ``(core, block, cycle)`` clwb-acceptance instants;
+    ``fences`` are ``(core, cycle)`` durability-fence retirements --
+    both restricted to the pre-crash window by the caller.  ``window``
+    is the design's speculation window (None = unbounded).
+    """
+
+    crash_cycle: int
+    window: Optional[int] = None
+    flushes: Tuple[Tuple[int, int, int], ...] = ()
+    fences: Tuple[Tuple[int, int], ...] = ()
+
+
+def order_context_from_history(history, crash_cycle: int,
+                               window: Optional[int] = None
+                               ) -> OrderContext:
+    """Build an :class:`OrderContext` from typed history events
+    (:mod:`repro.validation.history` FLUSH/FENCE kinds)."""
+    flushes = []
+    fences = []
+    for event in H.durable_prefix_at(history, crash_cycle):
+        if event.kind == H.FLUSH:
+            flushes.append((event.core or 0, event.block, event.cycle))
+        elif event.kind == H.FENCE:
+            fences.append((event.core or 0, event.cycle))
+    return OrderContext(crash_cycle, window, tuple(flushes), tuple(fences))
+
+
+# ------------------------------------------------------------- posets
+#
+# Each builder returns (floor, uncertain, preds): floor and uncertain
+# are record indices; preds[i] lists *positions into uncertain* that
+# must be kept for uncertain[i] to be kept.
+
+
+def _chain_preds(n: int) -> List[List[int]]:
+    return [[i - 1] if i else [] for i in range(n)]
+
+
+def _strict_poset(records, ctx):
+    return [], [r.index for r in records], _chain_preds(len(records))
+
+
+def _epoch_poset(records, ctx):
+    flush_core = {(block, cycle): core
+                  for core, block, cycle in ctx.flushes}
+    fence_cycles: Dict[int, List[int]] = {}
+    for core, cycle in ctx.fences:
+        fence_cycles.setdefault(core, []).append(cycle)
+    floor: List[int] = []
+    uncertain: List[int] = []
+    preds: List[List[int]] = []
+    last_by_block: Dict[int, int] = {}   # block -> uncertain position
+    for r in records:
+        core = flush_core.get((r.block, r.cycle))
+        closed = core is not None and any(
+            r.cycle <= f <= ctx.crash_cycle
+            for f in fence_cycles.get(core, ()))
+        if core is None or closed:
+            floor.append(r.index)
+            continue
+        position = len(uncertain)
+        preds.append([last_by_block[r.block]]
+                     if r.block in last_by_block else [])
+        last_by_block[r.block] = position
+        uncertain.append(r.index)
+    return floor, uncertain, preds
+
+
+def _percore_poset(records, ctx):
+    last_dfence: Dict[int, int] = {}
+    for core, cycle in ctx.fences:
+        if cycle <= ctx.crash_cycle:
+            last_dfence[core] = max(last_dfence.get(core, -1), cycle)
+    floor: List[int] = []
+    uncertain: List[int] = []
+    preds: List[List[int]] = []
+    last_by_core: Dict[int, int] = {}
+    for r in records:
+        if r.core is None or r.cycle <= last_dfence.get(r.core, -1):
+            floor.append(r.index)
+            continue
+        position = len(uncertain)
+        preds.append([last_by_core[r.core]]
+                     if r.core in last_by_core else [])
+        last_by_core[r.core] = position
+        uncertain.append(r.index)
+    return floor, uncertain, preds
+
+
+def _spec_poset(records, ctx):
+    # A tagged record is still "in flight" unless a later record of the
+    # same core is untagged (its FASE committed) or the window expired.
+    resolved_after = set()
+    seen_untagged_cores = set()
+    for r in reversed(records):
+        if r.core is not None and r.core in seen_untagged_cores:
+            resolved_after.add(r.index)
+        if r.core is not None and not r.tagged:
+            seen_untagged_cores.add(r.core)
+    expiry = (None if ctx.window is None
+              else ctx.crash_cycle - ctx.window)
+
+    def is_hole(r: PersistRecord) -> bool:
+        return (r.tagged and r.index not in resolved_after
+                and (expiry is None or r.cycle > expiry))
+
+    uncertain: List[int] = []
+    preds: List[List[int]] = []
+    last_backbone: Optional[int] = None   # uncertain position
+    last_hole_by_core: Dict[int, int] = {}
+    for r in records:
+        position = len(uncertain)
+        if is_hole(r):
+            p = []
+            if last_backbone is not None:
+                p.append(last_backbone)
+            if r.core in last_hole_by_core:
+                p.append(last_hole_by_core[r.core])
+            preds.append(p)
+            last_hole_by_core[r.core] = position
+        else:
+            preds.append([last_backbone] if last_backbone is not None
+                         else [])
+            last_backbone = position
+        uncertain.append(r.index)
+    return [], uncertain, preds
+
+
+_POSETS = {
+    "strict": _strict_poset,
+    "epoch": _epoch_poset,
+    "percore": _percore_poset,
+    "spec": _spec_poset,
+}
+
+
+# -------------------------------------------------------- enumeration
+
+
+def _is_chain(preds: List[List[int]]) -> bool:
+    return all(p == ([i - 1] if i else []) for i, p in enumerate(preds))
+
+
+def enumerate_ideals(preds: List[List[int]], budget: int,
+                     rng: random.Random
+                     ) -> Tuple[List[Tuple[int, ...]], bool]:
+    """All order ideals of the poset, or a seeded stratified sample.
+
+    Returns ``(states, truncated)`` where each state is a sorted tuple
+    of element positions.  Exhaustive enumeration runs only while the
+    ideal count stays within ``budget`` (prefix-sharing DFS, aborted at
+    ``budget + 1`` leaves); past it, the result is ``budget`` distinct
+    ideals: the empty set and the full set as anchors plus ideals drawn
+    with a uniformly random target size (stratified -- naive coin-flip
+    sampling would concentrate on tiny ideals for chain-like posets).
+    """
+    n = len(preds)
+    if budget < 2:
+        raise ValueError("image budget must be at least 2")
+    if _is_chain(preds):
+        # Prefix-sharing shortcut: a chain's ideals are its prefixes.
+        if n + 1 <= budget:
+            return [tuple(range(k)) for k in range(n + 1)], False
+        lengths = {0, n}
+        while len(lengths) < budget:
+            lengths.add(rng.randrange(n + 1))
+        return [tuple(range(k)) for k in sorted(lengths)], True
+
+    states: List[frozenset] = []
+    stack: List[Tuple[int, frozenset]] = [(0, frozenset())]
+    exhausted = True
+    while stack:
+        i, included = stack.pop()
+        if i == n:
+            states.append(included)
+            if len(states) > budget:
+                exhausted = False
+                break
+            continue
+        stack.append((i + 1, included))
+        if all(p in included for p in preds[i]):
+            stack.append((i + 1, included | {i}))
+    if exhausted:
+        return sorted(tuple(sorted(s)) for s in states), False
+
+    succs: List[List[int]] = [[] for _ in range(n)]
+    for i, plist in enumerate(preds):
+        for p in plist:
+            succs[p].append(i)
+
+    def random_ideal() -> frozenset:
+        target = rng.randrange(n + 1)
+        pending = [len(p) for p in preds]
+        eligible = [i for i in range(n) if pending[i] == 0]
+        included: set = set()
+        while len(included) < target and eligible:
+            pick = eligible.pop(rng.randrange(len(eligible)))
+            included.add(pick)
+            for s in succs[pick]:
+                pending[s] -= 1
+                if pending[s] == 0:
+                    eligible.append(s)
+        return frozenset(included)
+
+    sample = {frozenset(), frozenset(range(n))}
+    attempts = 0
+    while len(sample) < budget and attempts < budget * 50:
+        sample.add(random_ideal())
+        attempts += 1
+    return sorted(tuple(sorted(s)) for s in sample), True
+
+
+@dataclass
+class StateSet:
+    """The enumerated durable states of one (design, crash cycle)."""
+
+    design: str
+    model: str
+    crash_cycle: int
+    records: List[PersistRecord]
+    floor: Tuple[int, ...]                 # record indices, always kept
+    uncertain: Tuple[int, ...]             # record indices, droppable
+    states: List[Tuple[int, ...]]          # kept uncertain record indices
+    truncated: bool
+    budget: int
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    def kept_indices(self, state: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Full kept record-index set (floor + surviving uncertain)."""
+        return tuple(sorted(set(self.floor) | set(state)))
+
+    def images(self, base_image: Dict[int, int]):
+        """Yield ``(state, image)`` for every enumerated durable state."""
+        for state in self.states:
+            yield state, materialize_image(
+                self.records, self.kept_indices(state), base_image)
+
+    def floor_image(self, base_image: Dict[int, int]) -> Dict[int, int]:
+        """Every record applied -- must equal the simulator's own image
+        (the checker pins this against ``persisted_snapshot()``)."""
+        return materialize_image(
+            self.records, [r.index for r in self.records], base_image)
+
+    def to_dict(self) -> Dict:
+        return {
+            "design": self.design,
+            "model": self.model,
+            "crash_cycle": self.crash_cycle,
+            "n_records": len(self.records),
+            "n_floor": len(self.floor),
+            "n_uncertain": len(self.uncertain),
+            "n_states": self.n_states,
+            "truncated": self.truncated,
+            "budget": self.budget,
+        }
+
+
+def enumerate_durable_states(design: str,
+                             records: List[PersistRecord],
+                             crash_cycle: int,
+                             *,
+                             context: Optional[OrderContext] = None,
+                             budget: int = DEFAULT_BUDGET,
+                             seed: int = 0) -> StateSet:
+    """Enumerate the durable-state set ``design`` allows at a crash.
+
+    ``records`` must already be restricted to the pre-crash window
+    (:func:`records_from_device_history` with ``horizon=crash_cycle``).
+    Sampling (when the budget truncates) is seeded from ``seed`` and
+    the cell coordinates, so equal seeds give byte-identical sets.
+    """
+    model = MODEL_FOR_DESIGN.get(design, "strict")
+    ctx = context or OrderContext(crash_cycle)
+    if ctx.crash_cycle != crash_cycle:
+        ctx = ctx._replace(crash_cycle=crash_cycle)
+    floor, uncertain, preds = _POSETS[model](records, ctx)
+    rng = random.Random(f"crashstates:{seed}:{design}:{crash_cycle}")
+    positions, truncated = enumerate_ideals(preds, budget, rng)
+    states = [tuple(uncertain[p] for p in state) for state in positions]
+    return StateSet(design=design, model=model, crash_cycle=crash_cycle,
+                    records=records, floor=tuple(floor),
+                    uncertain=tuple(uncertain), states=states,
+                    truncated=truncated, budget=budget)

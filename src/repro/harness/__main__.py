@@ -394,6 +394,18 @@ def cmd_validate(args) -> int:
     from .report import format_campaign_table
     benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
     designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    if args.litmus:
+        from ..crashstates.litmus import format_litmus_table, run_litmus
+        # The litmus tier covers every design (incl. StrandWeaver, which
+        # the campaign default leaves out) unless --designs narrows it.
+        explicit = args.designs != ",".join(DESIGNS)
+        litmus = run_litmus(designs=designs if explicit else None)
+        console(format_litmus_table(litmus))
+        if args.report_out:
+            with open(args.report_out, "w") as fh:
+                json.dump(litmus, fh, indent=2, sort_keys=True)
+            console(f"litmus report written to {args.report_out}")
+        return 0 if litmus["ok"] else 1
     progress_log = get_logger("validation.progress")
     with run_context(run_id="validate"):
         report = run_campaign(
@@ -408,21 +420,34 @@ def cmd_validate(args) -> int:
                           else None),
             snapshot_every=args.snapshot_every,
             snapshot_rungs=args.snapshot_rungs,
-            batch=args.batch)
+            batch=args.batch,
+            crash_states=args.crash_states,
+            image_budget=args.image_budget)
     console(format_campaign_table(
         report.rows(),
         f"Crash-consistency campaign: fault={args.fault} "
-        f"planner={args.planner} budget={args.budget}/cell"))
+        f"planner={args.planner} budget={args.budget}/cell "
+        f"seed={args.seed}"))
     console()
     status = "CONSISTENT" if report.consistent else (
         f"{report.total_failures} FAILING TRIALS "
         f"{report.violation_kinds()}")
     console(f"{report.total_trials} trials in {report.elapsed_s:.1f}s: "
             f"{status}")
+    if report.crash_states is not None:
+        cells = report.crash_states["cells"]
+        images = sum(c.get("images_enumerated", 0) for c in cells)
+        failed = sum(c.get("images_failed", 0) for c in cells)
+        cs_status = ("CONSISTENT" if report.crash_states_ok
+                     else f"{failed} FAILING IMAGES")
+        console(f"crash states: {images} images over {len(cells)} cells "
+                f"(budget {args.image_budget}/cycle): {cs_status}")
+    console(f"seed={args.seed} report fingerprint "
+            f"{report.fingerprint()[:16]}")
     if args.report_out:
         report.save(args.report_out)
         console(f"campaign report written to {args.report_out}")
-    return 0 if report.consistent else 1
+    return 0 if report.consistent and report.crash_states_ok else 1
 
 
 def cmd_snapshot(args) -> int:
@@ -709,6 +734,22 @@ def main(argv=None) -> int:
                         help="validate command: size each cell's ladder "
                              "to ~N rungs from a probe run instead of a "
                              "fixed --snapshot-every interval")
+    parser.add_argument("--crash-states", action="store_true",
+                        help="validate command: after the trial campaign, "
+                             "enumerate every durable state each design's "
+                             "persistency model allows at sampled crash "
+                             "cycles and prove recovery converges from "
+                             "all of them")
+    parser.add_argument("--litmus", action="store_true",
+                        help="validate command: run only the hand-written "
+                             "crash-state litmus tier (seconds, no "
+                             "campaign) and exit 1 on any mismatch")
+    parser.add_argument("--image-budget", type=int, default=64,
+                        metavar="N",
+                        help="validate command: durable-state images "
+                             "enumerated per crash cycle before falling "
+                             "back to seeded stratified sampling "
+                             "(default 64)")
     parser.add_argument("--batch", type=int, default=0, metavar="N",
                         help="validate command: cell-affine batched "
                              "execution -- ship up to N trials per "

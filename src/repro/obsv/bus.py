@@ -104,6 +104,11 @@ EVENT_KINDS: Dict[str, tuple] = {
                          "violation_kind", "cycle"),
     "shrink_finish": ("workload", "design", "earliest_cycle",
                       "minimal_cycle", "trials"),
+    # -- durable-state enumeration (repro.crashstates.checker)
+    "image_enumerated": ("workload", "design", "crash_cycle", "n_images",
+                         "truncated", "model"),
+    "image_check": ("workload", "design", "crash_cycle", "consistent",
+                    "n_violations"),
     # -- snapshots (repro.snapshot.manager)
     "rung_capture": ("cycle", "rung"),
     # Optional fields: ``source`` ("resident"|"store"|"cold") says

@@ -361,6 +361,32 @@ class MetricsRegistry:
                        "Trials per wall second of the last campaign"
                        ).set(round(trials / elapsed, 4))
 
+    def _on_image_enumerated(self, event: Dict) -> None:
+        labels = {"workload": str(event.get("workload", "?")),
+                  "design": str(event.get("design", "?"))}
+        n_images = event.get("n_images", 0)
+        self.counter("repro_images_enumerated_total",
+                     "Durable-state images enumerated per cell"
+                     ).inc(n_images, labels=labels)
+        if event.get("truncated"):
+            self.counter("repro_image_enumerations_truncated_total",
+                         "Crash cycles whose durable-state set hit the "
+                         "enumeration budget").inc(labels=labels)
+        self.histogram("repro_images_per_crash_cycle",
+                       "Enumerated durable states per crash cycle",
+                       buckets=DEPTH_BUCKETS).observe(float(n_images))
+
+    def _on_image_check(self, event: Dict) -> None:
+        consistent = ("true" if event.get("consistent", True)
+                      else "false")
+        self.counter("repro_image_checks_total",
+                     "Recovery runs over enumerated durable states"
+                     ).inc(labels={"consistent": consistent})
+        if not event.get("consistent", True):
+            self.counter("repro_image_check_failures_total",
+                         "Enumerated images recovery failed to "
+                         "converge from").inc()
+
     def _on_snapshot_restore(self, event: Dict) -> None:
         if event.get("outcome") == "cold_fallback":
             # A restore that should have been warm degraded to a cold

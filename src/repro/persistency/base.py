@@ -143,22 +143,24 @@ class PersistLog:
     def __init__(self, system: "System"):
         self.system = system
 
-    def persist_at(self, addr: int, value: int, when: int) -> None:
+    def persist_at(self, addr: int, value: int, when: int,
+                   origin: str = "drain") -> None:
         env = self.system.env
         device = self.system.device
         if when <= env.now:
-            device.persist_store(addr, value, env.now)
+            device.persist_store(addr, value, env.now, origin=origin)
         else:
-            env.call_at(when,
-                        lambda: device.persist_store(addr, value, when))
+            env.call_at(when, lambda: device.persist_store(
+                addr, value, when, origin=origin))
 
     def persist_block_at(self, block_addr: int, data: Dict[int, int],
-                         when: int) -> None:
+                         when: int, origin: str = "drain") -> None:
         env = self.system.env
         device = self.system.device
         snapshot = dict(data)
         if when <= env.now:
-            device.persist_block(block_addr, snapshot, env.now)
+            device.persist_block(block_addr, snapshot, env.now,
+                                 origin=origin)
         else:
             env.call_at(when, lambda: device.persist_block(
-                block_addr, snapshot, when))
+                block_addr, snapshot, when, origin=origin))

@@ -80,7 +80,8 @@ class DPO(Design):
             self.stats.add("buffer_full_stalls")
         _start, finish = self._channel.reserve(accept, self._flush_cycles)
         self._pending[core_id].append(finish)
-        self._log.persist_block_at(block * 64, data, finish)
+        self._log.persist_block_at(block * 64, data, finish,
+                                   origin=f"drain:c{core_id}")
         self.stats.add("clwbs")
         return accept
 

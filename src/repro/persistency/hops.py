@@ -175,7 +175,8 @@ class HOPS(Design):
             if drained < self._fifo_drain[core_id]:
                 drained = self._fifo_drain[core_id]
             self._fifo_drain[core_id] = drained
-            self._log.persist_at(addr, value, drained)
+            self._log.persist_at(addr, value, drained,
+                                 origin=f"drain:c{core_id}")
             self.stats.add("pm_stores")
         return done
 
@@ -194,6 +195,13 @@ class HOPS(Design):
                    core.store_queue.drain_complete_time(now))
         self.stats.add("dfences")
         self.stats.add("dfence_stall_cycles", done - now)
+        trace = self.system.env.trace
+        if trace.enabled:
+            # Durability fence retirement instant: the per-core chain
+            # durable-state model pins every drain accepted at or before
+            # this cycle (repro.crashstates.models).
+            trace.instant("order", "fence", done,
+                          args={"core": core_id}, cat="order")
         return done
 
     def quiesce_time(self, now: int) -> int:

@@ -35,6 +35,15 @@ class IntelX86Epoch(Design):
         if accept > self._clwb_horizon[core_id]:
             self._clwb_horizon[core_id] = accept
         self.stats.add("clwbs")
+        trace = self.system.env.trace
+        if trace.enabled:
+            # Flush-attribution instant: lets the epoch durable-state
+            # model (repro.crashstates.models) join the device-level
+            # writeback accepted at this (block, cycle) to the flushing
+            # core, and hence to that core's open epoch.
+            trace.instant("order", "flush", accept,
+                          args={"core": core_id, "block": addr >> 6},
+                          cat="order")
         return accept
 
     def sfence(self, core_id: int, now: int) -> int:
@@ -45,6 +54,13 @@ class IntelX86Epoch(Design):
                    core.store_queue.drain_complete_time(now))
         self.stats.add("sfences")
         self.stats.add("sfence_stall_cycles", done - now)
+        trace = self.system.env.trace
+        if trace.enabled:
+            # Epoch-closing instant: flushes accepted at or before this
+            # retirement belong to a closed epoch and become mandatory
+            # in every enumerated durable state.
+            trace.instant("order", "fence", done,
+                          args={"core": core_id}, cat="order")
         return done
 
     def quiesce_time(self, now: int) -> int:

@@ -102,7 +102,8 @@ class StrandWeaver(Design):
                                          if d > now}
             if drained > state.outstanding:
                 state.outstanding = drained
-            self._log.persist_at(addr, value, drained)
+            self._log.persist_at(addr, value, drained,
+                                 origin=f"drain:c{core_id}")
             self.stats.add("pm_stores")
         return done
 
@@ -138,6 +139,13 @@ class StrandWeaver(Design):
                    core.store_queue.drain_complete_time(now))
         self.stats.add("dfences")
         self.stats.add("dfence_stall_cycles", done - now)
+        trace = self.system.env.trace
+        if trace.enabled:
+            # See repro.crashstates.models: the per-core chain model
+            # (a conservative approximation of strand semantics) floors
+            # every drain accepted at or before this retirement.
+            trace.instant("order", "fence", done,
+                          args={"core": core_id}, cat="order")
         return done
 
     def quiesce_time(self, now: int) -> int:

@@ -616,6 +616,10 @@ class CampaignReport:
         # Aggregate-metrics snapshot from the run's MetricsRegistry
         # (set by run_campaign when an observed bus is active).
         self.obsv: Optional[Dict] = None
+        # Versioned durable-state enumeration section (set by
+        # run_campaign when crash_states is on): per-cell payloads from
+        # repro.crashstates.checker.check_cell.
+        self.crash_states: Optional[Dict] = None
 
     @property
     def total_trials(self) -> int:
@@ -628,6 +632,15 @@ class CampaignReport:
     @property
     def consistent(self) -> bool:
         return self.total_failures == 0
+
+    @property
+    def crash_states_ok(self) -> bool:
+        """True when no enumerated durable state failed (vacuously true
+        without a crash_states section)."""
+        if self.crash_states is None:
+            return True
+        return all(cell["consistent"]
+                   for cell in self.crash_states["cells"])
 
     def violation_kinds(self) -> List[str]:
         kinds = {violation["kind"] for cell in self.cells
@@ -662,9 +675,32 @@ class CampaignReport:
             "violation_kinds": self.violation_kinds(),
             "cells": self.cells,
         }
+        if self.crash_states is not None:
+            payload["crash_states"] = self.crash_states
+            payload["crash_states_ok"] = self.crash_states_ok
         if self.obsv is not None:
             payload["obsv"] = self.obsv
         return payload
+
+    def fingerprint(self) -> str:
+        """Content hash of the report's deterministic payload.
+
+        Wall-clock fields (``elapsed_s``, the crashstates ``timings``)
+        and the metrics snapshot are stripped, so two campaigns with
+        identical parameters and ``--seed`` produce byte-identical
+        fingerprints -- the reproducibility contract ``validate --seed``
+        prints and tests pin.
+        """
+        def strip(value):
+            if isinstance(value, dict):
+                return {key: strip(item) for key, item in value.items()
+                        if key not in ("elapsed_s", "timings", "obsv")}
+            if isinstance(value, list):
+                return [strip(item) for item in value]
+            return value
+
+        blob = json.dumps(strip(self.to_dict()), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -692,6 +728,14 @@ def _cell_rng(seed: int, workload: str, design: str,
     return random.Random(f"{seed}:{workload}:{design}:{round_index}")
 
 
+#: Crash cycles enumerated per cell when crash_states is on: a seeded
+#: sample of the cycles the trial rounds already tried.
+_CRASH_STATE_MAX_CYCLES = 12
+#: Rung-ladder target for the crashstates canonical run when the
+#: campaign itself runs unladdered.
+_CRASH_STATE_RUNGS = 16
+
+
 def run_campaign(workloads: Sequence[str], designs: Sequence[str],
                  planner: str = "stratified", fault: str = "power-cut",
                  budget: int = 200, seed: int = 42,
@@ -702,7 +746,9 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
                  snapshot_dir: Optional[str] = None,
                  snapshot_every: int = 0,
                  snapshot_rungs: int = 0,
-                 batch: int = 0) -> CampaignReport:
+                 batch: int = 0,
+                 crash_states: bool = False,
+                 image_budget: int = 64) -> CampaignReport:
     """Run a full campaign over the ``workloads x designs`` grid.
 
     ``budget`` is the trial budget *per cell*.  ``executor`` is a
@@ -721,6 +767,15 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
     land ~``snapshot_rungs`` rungs (a grid-wide interval gives one cell
     tails too long to matter and another a capture bill too high to
     amortise).  Overrides ``snapshot_every``.
+
+    With ``crash_states`` on, every cell additionally runs the
+    durable-state enumeration oracle (:mod:`repro.crashstates`): a
+    seeded sample of the cell's tried crash cycles is re-acquired by
+    rung-restore, the design's formal model enumerates up to
+    ``image_budget`` durable images per cycle, and recovery must
+    converge from every one.  Results land in the report's versioned
+    ``crash_states`` section; :attr:`CampaignReport.crash_states_ok`
+    gates on them.
 
     ``batch > 0`` turns on cell-affine batched execution: trials ship
     as chunks of up to ``batch`` specs per (cell, chunk) task through
@@ -876,6 +931,41 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
             "shrink": shrink_payload,
         })
 
+    crash_states_payload = None
+    if crash_states:
+        # Imported here, not at module top: crashstates builds on this
+        # module, so the dependency must stay one-way at import time.
+        from ..crashstates.checker import (CRASH_STATES_SCHEMA_VERSION,
+                                           check_cell)
+        cs_cells: List[Dict] = []
+        for workload, design in cells:
+            cell = (workload, design)
+            cycles = sorted(tried[cell])
+            rng = random.Random(
+                f"{seed}:{workload}:{design}:crashstates")
+            if len(cycles) > _CRASH_STATE_MAX_CYCLES:
+                cycles = sorted(rng.sample(cycles,
+                                           _CRASH_STATE_MAX_CYCLES))
+            every = cell_every.get(cell, snapshot_every) or max(
+                1, len(profiles[cell].persist_cycles)
+                // _CRASH_STATE_RUNGS)
+            spec = replace(base_spec(workload, design),
+                           snapshot_every=every, snapshot_dir=None)
+            say(f"crash-states {workload}/{design}: "
+                f"{len(cycles)} cycles, budget {image_budget}")
+            payload = check_cell(spec, cycles, image_budget=image_budget,
+                                 shrink=shrink)
+            cs_cells.append(payload)
+            say(f"crash-states {workload}/{design}: "
+                f"{payload.get('images_checked', 0)} images, "
+                f"{payload.get('images_failed', 0)} failed")
+        crash_states_payload = {
+            "schema_version": CRASH_STATES_SCHEMA_VERSION,
+            "image_budget": image_budget,
+            "max_cycles_per_cell": _CRASH_STATE_MAX_CYCLES,
+            "cells": cs_cells,
+        }
+
     report = CampaignReport(
         params={
             "workloads": list(workloads), "designs": list(designs),
@@ -884,6 +974,7 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
             "fases_per_thread": fases_per_thread, "log_mode": log_mode,
             "shrink": shrink, "snapshot_every": snapshot_every,
             "snapshot_rungs": snapshot_rungs, "batch": batch,
+            "crash_states": crash_states, "image_budget": image_budget,
             "cell_snapshot_every": {
                 f"{workload}/{design}": every
                 for (workload, design), every in sorted(cell_every.items())},
@@ -892,6 +983,7 @@ def run_campaign(workloads: Sequence[str], designs: Sequence[str],
         cells=cell_reports,
         elapsed_s=time.perf_counter() - started,
     )
+    report.crash_states = crash_states_payload
     bus.emit("campaign_finish", cells=len(cells),
              trials=report.total_trials, failures=report.total_failures,
              consistent=report.consistent, elapsed_s=report.elapsed_s)

@@ -26,8 +26,10 @@ READ = "read"
 PERSIST = "persist"
 DETECTION = "detection"
 FASE = "fase"
+FLUSH = "flush"
+FENCE = "fence"
 
-KINDS = (WRITEBACK, READ, PERSIST, DETECTION, FASE)
+KINDS = (WRITEBACK, READ, PERSIST, DETECTION, FASE, FLUSH, FENCE)
 
 
 class HistoryEvent(NamedTuple):
@@ -85,6 +87,22 @@ def detection(block: int, cycle: int, spec_id: int = 0) -> HistoryEvent:
     return HistoryEvent(DETECTION, cycle, block=block, spec_id=spec_id)
 
 
+def flush(block: int, cycle: int, core: int = 0) -> HistoryEvent:
+    """An explicit cache-line flush (clwb-class) accepted at ``cycle``.
+
+    Ordering-only: the durable-state models use flush instants to
+    attribute a device-level writeback to the core (and hence the open
+    epoch) that flushed it.  The persist-order oracle ignores them.
+    """
+    return HistoryEvent(FLUSH, cycle, block=block, core=core)
+
+
+def fence(core: int, cycle: int) -> HistoryEvent:
+    """A durability fence (sfence/dfence/spec-barrier) retired at
+    ``cycle`` on ``core``.  Ordering-only, like :func:`flush`."""
+    return HistoryEvent(FENCE, cycle, core=core)
+
+
 def fase_span(core: int, fase: int, start: int, end: int,
               outcome: str = "commit", attempt: int = 1) -> HistoryEvent:
     """One attempt of FASE ``fase`` on ``core`` over ``[start, end]``."""
@@ -135,6 +153,12 @@ def events_to_history(events) -> List[HistoryEvent]:
                 append(HistoryEvent(PERSIST, ts, args["block"],
                                     args.get("core", 0),
                                     args.get("spec_id", 0)))
+        elif cat == "order":
+            if name == "flush":
+                append(HistoryEvent(FLUSH, ts, args["block"],
+                                    args.get("core", 0)))
+            elif name == "fence":
+                append(HistoryEvent(FENCE, ts, core=args.get("core", 0)))
         elif cat == "spec-buffer" and name.endswith("->Misspeculation"):
             append(HistoryEvent(DETECTION, ts, args["block"],
                                 spec_id=args.get("spec_id", 0)))
@@ -162,3 +186,39 @@ def truncate_history(history: List[HistoryEvent],
     """
     return [event for event in history
             if event.kind == FASE or event.cycle <= horizon]
+
+
+def durable_prefix_at(history: List[HistoryEvent],
+                      cycle: int) -> List[HistoryEvent]:
+    """The point-event prefix that had *happened* by ``cycle``, inclusive.
+
+    A fence retiring exactly at the crash cycle counts as retired, and a
+    persist accepted exactly at the crash cycle counts as durable (ADR:
+    acceptance is the durability point, §8.1) -- hence ``<=``, matching
+    :func:`truncate_history` and the speculation window's own inclusive
+    boundary (``now - inserted >= window`` expires the entry).  FASE
+    spans are interval events, not point events, and are excluded; use
+    :func:`truncate_history` when spans should ride along.
+    """
+    return [event for event in history
+            if event.kind != FASE and event.cycle <= cycle]
+
+
+def history_from_dicts(rows) -> List[HistoryEvent]:
+    """Rebuild a typed history from ``HistoryEvent.to_dict()`` rows.
+
+    The loader for JSON litmus fixtures (``tests/crashstates/litmus/``):
+    each row is a mapping with at least ``kind`` and ``cycle``; the
+    remaining fields default exactly as on :class:`HistoryEvent`.
+    """
+    events: List[HistoryEvent] = []
+    for row in rows:
+        kind = row["kind"]
+        if kind not in KINDS:
+            raise ValueError(f"unknown history event kind: {kind!r}")
+        events.append(HistoryEvent(
+            kind, row["cycle"], block=row.get("block"),
+            core=row.get("core"), spec_id=row.get("spec_id", 0),
+            fase=row.get("fase"), outcome=row.get("outcome", ""),
+            attempt=row.get("attempt", 1), end=row.get("end")))
+    return events

@@ -1,0 +1,83 @@
+"""The crash-state litmus tier and its known-bad oracle fixtures."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.crashstates.litmus import (ALL_DESIGNS, LITMUS_PROGRAMS,
+                                      format_litmus_table, run_litmus)
+from repro.validation.history import history_from_dicts
+from repro.validation.oracle import VIOLATION_KINDS, PersistOrderOracle
+
+FIXTURE_DIR = Path(__file__).parent / "litmus"
+
+
+class TestLitmusTier:
+    def test_every_program_matches_its_expected_sets(self):
+        report = run_litmus()
+        failures = [r for r in report["results"] if not r["ok"]]
+        assert report["ok"], "\n" + format_litmus_table(report)
+        assert not failures
+        assert report["programs"] == len(LITMUS_PROGRAMS)
+        # Every design is covered by at least one expectation.
+        designs_seen = {r["design"] for r in report["results"]}
+        assert designs_seen == set(ALL_DESIGNS)
+
+    def test_design_filter(self):
+        report = run_litmus(designs=["DPO"])
+        assert report["ok"]
+        assert {r["design"] for r in report["results"]} == {"DPO"}
+
+    def test_torn_tail_separates_strict_from_epoch(self):
+        """The paper's core claim in miniature: the same torn undo-log
+        tail is recoverable under strict persistency (every durable
+        state is a persist-order prefix, and the log protocol fences
+        entries before data) but not under open-epoch reordering."""
+        report = run_litmus(designs=["IntelX86", "DPO"],
+                            programs=["undo-torn-tail"])
+        assert report["ok"]
+        by_design = {r["design"]: r for r in report["results"]}
+        assert by_design["IntelX86"]["recovery_failed"] > 0
+        assert by_design["IntelX86"]["recovery_expect_failure"]
+        assert by_design["DPO"]["recovery_failed"] == 0
+        assert by_design["DPO"]["recovery_checked"] > 0
+
+    def test_report_shape(self):
+        report = run_litmus(designs=["HOPS"], programs=["store-store"])
+        assert report["schema_version"] == 1
+        result = report["results"][0]
+        assert result["program"] == "store-store"
+        assert result["model"] == "percore"
+        assert not result["truncated"]
+        assert result["n_states"] >= 1
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(KeyError):
+            run_litmus(programs=["no-such-program"])
+
+
+class TestKnownBadFixtures:
+    """Each fixture is a hand-written history that exactly one oracle
+    predicate uniquely catches -- the oracle's negative controls."""
+
+    FIXTURE_FOR_KIND = {
+        "intra-thread-persist-order": "bad-intra-thread-order.json",
+        "spec-id-monotonicity": "bad-spec-id-order.json",
+        "stale-read": "bad-stale-read.json",
+        "fase-atomicity": "bad-fase-atomicity.json",
+    }
+
+    @pytest.mark.parametrize("kind", VIOLATION_KINDS)
+    def test_fixture_trips_exactly_its_kind(self, kind):
+        path = FIXTURE_DIR / self.FIXTURE_FOR_KIND[kind]
+        fixture = json.loads(path.read_text())
+        assert fixture["kind"] == kind
+        history = history_from_dicts(fixture["events"])
+        violations = PersistOrderOracle(window=None).check(history)
+        assert violations, f"{path.name} tripped nothing"
+        assert {v.kind for v in violations} == {kind}
+
+    def test_fixture_files_cover_all_kinds(self):
+        files = sorted(p.name for p in FIXTURE_DIR.glob("bad-*.json"))
+        assert len(files) == len(VIOLATION_KINDS)

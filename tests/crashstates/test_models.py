@@ -1,0 +1,262 @@
+"""Unit tests for the durable-state models (repro.crashstates.models)."""
+
+import random
+
+import pytest
+
+from repro.crashstates.models import (DEFAULT_BUDGET, MODEL_FOR_DESIGN,
+                                      OrderContext, enumerate_durable_states,
+                                      enumerate_ideals, materialize_image,
+                                      parse_origin,
+                                      records_from_device_history)
+
+
+def entries_for_block(cycle, block, origin, n_bytes=4, base_value=0xA0):
+    """One ``persist_block``-style burst: an entry per byte of a line."""
+    return [(cycle, block * 64 + i, base_value + i, origin)
+            for i in range(n_bytes)]
+
+
+# ------------------------------------------------------------- grouping
+
+
+class TestRecordGrouping:
+    def test_per_byte_burst_is_one_record(self):
+        history = entries_for_block(100, 3, "drain:c1")
+        records = records_from_device_history(history)
+        assert len(records) == 1
+        record = records[0]
+        assert record.cycle == 100
+        assert record.block == 3
+        assert record.core == 1
+        assert record.spec_id == 0
+        assert record.writes == tuple((3 * 64 + i, 0xA0 + i)
+                                      for i in range(4))
+
+    def test_runs_split_on_cycle_origin_and_block(self):
+        history = (entries_for_block(100, 0, "drain:c0")
+                   + entries_for_block(100, 1, "drain:c0")
+                   + entries_for_block(100, 1, "drain:c1")
+                   + entries_for_block(200, 1, "drain:c1"))
+        records = records_from_device_history(history)
+        assert [(r.cycle, r.block, r.origin) for r in records] == [
+            (100, 0, "drain:c0"), (100, 1, "drain:c0"),
+            (100, 1, "drain:c1"), (200, 1, "drain:c1")]
+        assert [r.index for r in records] == [0, 1, 2, 3]
+
+    def test_recovery_entries_skipped(self):
+        history = ([(50, 0, 1, "drain:c0")]
+                   + [(60, 8, 2, "recovery")]
+                   + [(70, 16, 3, "drain:c0")])
+        records = records_from_device_history(history)
+        assert [r.cycle for r in records] == [50, 70]
+
+    def test_horizon_is_inclusive(self):
+        history = [(50, 0, 1, "writeback"), (60, 8, 2, "writeback"),
+                   (61, 16, 3, "writeback")]
+        records = records_from_device_history(history, horizon=60)
+        assert [r.cycle for r in records] == [50, 60]
+
+    def test_parse_origin(self):
+        assert parse_origin("drain:c2") == (2, 0)
+        assert parse_origin("persist:c1:s7") == (1, 7)
+        assert parse_origin("persist:c0:s0") == (0, 0)
+        assert parse_origin("writeback") == (None, 0)
+        assert parse_origin("recovery") == (None, 0)
+        assert parse_origin("drain:cX") == (None, 0)
+
+    def test_materialize_applies_in_acceptance_order(self):
+        history = [(10, 0, 1, "writeback"), (20, 0, 2, "writeback")]
+        records = records_from_device_history(history)
+        image = materialize_image(records, [0, 1], {0: 0})
+        assert image == {0: 2}
+        assert materialize_image(records, [0], {0: 0}) == {0: 1}
+        # The base image is never mutated.
+        base = {0: 9}
+        materialize_image(records, [0, 1], base)
+        assert base == {0: 9}
+
+
+# ---------------------------------------------------------- enumeration
+
+
+class TestEnumerateIdeals:
+    def test_chain_fast_path_yields_prefixes(self):
+        preds = [[i - 1] if i else [] for i in range(5)]
+        states, truncated = enumerate_ideals(preds, 64, random.Random(0))
+        assert not truncated
+        assert states == [tuple(range(k)) for k in range(6)]
+
+    def test_chain_budget_truncates_with_anchors(self):
+        n = 200
+        preds = [[i - 1] if i else [] for i in range(n)]
+        states, truncated = enumerate_ideals(preds, 16, random.Random(0))
+        assert truncated
+        assert len(states) == 16
+        assert () in states
+        assert tuple(range(n)) in states
+        # Every sampled state is still a prefix (a valid chain ideal).
+        for state in states:
+            assert state == tuple(range(len(state)))
+
+    def test_antichain_exhaustive_is_powerset(self):
+        preds = [[], [], []]
+        states, truncated = enumerate_ideals(preds, 64, random.Random(0))
+        assert not truncated
+        assert len(states) == 8
+        assert set(states) == {tuple(sorted(s)) for s in [
+            (), (0,), (1,), (2,), (0, 1), (0, 2), (1, 2), (0, 1, 2)]}
+
+    def test_dag_sampling_respects_order(self):
+        # Wide antichain forces sampling; sampled sets must stay ideals.
+        n = 24
+        preds = [[] for _ in range(n)]
+        states, truncated = enumerate_ideals(preds, 32, random.Random(7))
+        assert truncated
+        assert len(states) == 32
+        assert () in states
+        assert tuple(range(n)) in states
+
+    def test_sampling_is_deterministic_per_seed(self):
+        n = 100
+        preds = [[i - 1] if i else [] for i in range(n)]
+        first, _ = enumerate_ideals(preds, 8, random.Random(3))
+        second, _ = enumerate_ideals(preds, 8, random.Random(3))
+        third, _ = enumerate_ideals(preds, 8, random.Random(4))
+        assert first == second
+        assert first != third
+
+    def test_budget_floor(self):
+        with pytest.raises(ValueError):
+            enumerate_ideals([[]], 1, random.Random(0))
+
+
+class TestEnumerateDurableStates:
+    def test_strict_model_states_are_prefixes(self):
+        history = [(10 * (i + 1), i * 64, i, "drain:c0")
+                   for i in range(4)]
+        records = records_from_device_history(history)
+        states = enumerate_durable_states("DPO", records, 100)
+        assert states.model == "strict"
+        assert states.floor == ()
+        assert states.n_states == 5
+        expected = [tuple(range(k)) for k in range(5)]
+        assert states.states == expected
+
+    def test_unknown_design_falls_back_to_strict(self):
+        assert "NoSuchDesign" not in MODEL_FOR_DESIGN
+        history = [(10, 0, 1, "writeback")]
+        records = records_from_device_history(history)
+        states = enumerate_durable_states("NoSuchDesign", records, 100)
+        assert states.model == "strict"
+
+    def test_epoch_unattributed_records_are_floor(self):
+        history = [(10, 0, 1, "writeback"), (20, 64, 2, "writeback")]
+        records = records_from_device_history(history)
+        context = OrderContext(crash_cycle=100)
+        states = enumerate_durable_states("IntelX86", records, 100,
+                                          context=context)
+        assert states.model == "epoch"
+        assert len(states.floor) == 2
+        assert states.n_states == 1          # only the floor image
+
+    def test_epoch_open_flushes_form_per_block_chains(self):
+        # Two blocks, two open-epoch flushes each: ideals are the
+        # product of the two per-block chains -> 3 * 3 = 9 states.
+        history = [(10, 0, 1, "writeback"), (20, 64, 2, "writeback"),
+                   (30, 1, 3, "writeback"), (40, 65, 4, "writeback")]
+        records = records_from_device_history(history)
+        flushes = tuple((0, r.block, r.cycle) for r in records)
+        context = OrderContext(crash_cycle=100, flushes=flushes)
+        states = enumerate_durable_states("IntelX86", records, 100,
+                                          context=context)
+        assert states.floor == ()
+        assert states.n_states == 9
+        # Keeping a later write to a block requires the earlier one.
+        for state in states.states:
+            if 2 in state:
+                assert 0 in state
+            if 3 in state:
+                assert 1 in state
+
+    def test_percore_fence_floors_the_core(self):
+        history = [(10, 0, 1, "drain:c0"), (20, 64, 2, "drain:c0"),
+                   (30, 128, 3, "drain:c1")]
+        records = records_from_device_history(history)
+        context = OrderContext(crash_cycle=100, fences=((0, 25),))
+        states = enumerate_durable_states("HOPS", records, 100,
+                                          context=context)
+        # Core 0's drains precede its dfence at 25 -> floor; core 1's
+        # single drain is the only droppable record.
+        assert set(states.floor) == {0, 1}
+        assert states.uncertain == (2,)
+        assert states.n_states == 2
+
+    def test_spec_holes_drop_independently(self):
+        # Core 0: tagged persist with no later untagged record -> hole.
+        # Core 1: untagged backbone record after it.
+        history = [(10, 0, 1, "persist:c0:s3"),
+                   (20, 64, 2, "persist:c1:s0")]
+        records = records_from_device_history(history)
+        states = enumerate_durable_states("PMEM-Spec", records, 100)
+        assert states.model == "spec"
+        # {}, {hole}, {backbone}, {hole, backbone}?  The hole at 10 has
+        # no earlier backbone, the backbone at 20 has no earlier
+        # backbone either -> hole and backbone are incomparable.
+        assert states.n_states == 4
+
+    def test_spec_commit_resolves_the_hole(self):
+        # A later untagged record from the same core commits the FASE:
+        # the tagged record joins the backbone chain.
+        history = [(10, 0, 1, "persist:c0:s3"),
+                   (20, 64, 2, "persist:c0:s0")]
+        records = records_from_device_history(history)
+        states = enumerate_durable_states("PMEM-Spec", records, 100)
+        assert states.n_states == 3          # chain of two -> 3 prefixes
+
+    def test_spec_window_expiry_resolves_the_hole(self):
+        history = [(10, 0, 1, "persist:c0:s3")]
+        records = records_from_device_history(history)
+        live = enumerate_durable_states(
+            "PMEM-Spec", records, 100,
+            context=OrderContext(crash_cycle=100, window=320))
+        expired = enumerate_durable_states(
+            "PMEM-Spec", records, 500,
+            context=OrderContext(crash_cycle=500, window=320))
+        assert live.n_states == 2            # {} and {hole}
+        assert expired.n_states == 2         # prefixes of a 1-chain
+        # Same count, different structure: the live one is a droppable
+        # hole, the expired one is ordinary backbone.  Distinguish via
+        # a second, later backbone record.
+        history2 = history + [(15, 64, 2, "persist:c1:s0")]
+        records2 = records_from_device_history(history2)
+        live2 = enumerate_durable_states(
+            "PMEM-Spec", records2, 100,
+            context=OrderContext(crash_cycle=100, window=320))
+        expired2 = enumerate_durable_states(
+            "PMEM-Spec", records2, 500,
+            context=OrderContext(crash_cycle=500, window=320))
+        assert live2.n_states == 4           # hole incomparable
+        assert expired2.n_states == 3        # plain 2-chain
+
+    def test_budget_and_seed_reproducibility(self):
+        history = [(10 * (i + 1), i * 64, i, "drain:c0")
+                   for i in range(300)]
+        records = records_from_device_history(history)
+        a = enumerate_durable_states("DPO", records, 10_000,
+                                     budget=8, seed=42)
+        b = enumerate_durable_states("DPO", records, 10_000,
+                                     budget=8, seed=42)
+        c = enumerate_durable_states("DPO", records, 10_000,
+                                     budget=8, seed=43)
+        assert a.truncated and a.n_states == 8
+        assert a.states == b.states
+        assert a.states != c.states
+        assert a.budget == 8
+        assert DEFAULT_BUDGET == 64
+
+    def test_floor_image_applies_everything(self):
+        history = [(10, 0, 1, "writeback"), (20, 0, 2, "drain:c0")]
+        records = records_from_device_history(history)
+        states = enumerate_durable_states("IntelX86", records, 100)
+        assert states.floor_image({}) == {0: 2}

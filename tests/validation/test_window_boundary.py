@@ -1,0 +1,63 @@
+"""Pin the stale-read window boundary: the oracle's lazy-expiry
+predicate must match the hardware's exactly, at the exact cycle.
+
+Both sides expire an entry when ``now - start >= window`` (the entry's
+window-th cycle is already dead).  A drift to ``>`` on either side
+would make the oracle flag patterns the hardware legitimately forgot
+(false positives) or miss patterns the hardware still tracks (false
+negatives) -- one cycle apart, and only at the boundary, which is why
+this regression test exists.
+"""
+
+from repro.core import automata
+from repro.core.spec_buffer import SpecBufferEntry
+from repro.validation.history import persist, read, writeback
+from repro.validation.oracle import STALE_READ, PersistOrderOracle
+
+WINDOW = 320
+
+
+class TestExpiryPredicateEquivalence:
+    def test_boundary_agreement(self):
+        """oracle._expired == SpecBufferEntry.expired at, around, and
+        far from the boundary."""
+        oracle = PersistOrderOracle(window=WINDOW)
+        entry = SpecBufferEntry(block=0, state=automata.EVICT, inserted=0)
+        for now in (0, 1, WINDOW - 1, WINDOW, WINDOW + 1, 10 * WINDOW):
+            assert (oracle._expired(0, now)
+                    == entry.expired(now, WINDOW)), now
+
+    def test_both_are_inclusive(self):
+        """The shared convention is ``>=``: the entry is dead exactly
+        at start + window, not one cycle later."""
+        oracle = PersistOrderOracle(window=WINDOW)
+        entry = SpecBufferEntry(block=0, state=automata.EVICT, inserted=100)
+        assert not oracle._expired(100, 100 + WINDOW - 1)
+        assert oracle._expired(100, 100 + WINDOW)
+        assert not entry.expired(100 + WINDOW - 1, WINDOW)
+        assert entry.expired(100 + WINDOW, WINDOW)
+
+
+class TestBehaviouralBoundary:
+    def history_with_persist_at(self, persist_cycle):
+        """WriteBack at 0, Read at 1, Persist at ``persist_cycle``:
+        stale-read iff the entry is still live at the persist."""
+        return [writeback(0, 0), read(0, 1),
+                persist(0, persist_cycle, core=0)]
+
+    def kinds_at(self, persist_cycle):
+        oracle = PersistOrderOracle(window=WINDOW)
+        history = self.history_with_persist_at(persist_cycle)
+        return {v.kind for v in oracle.check(history)}
+
+    def test_stale_read_inside_the_window(self):
+        assert self.kinds_at(WINDOW - 1) == {STALE_READ}
+
+    def test_no_stale_read_at_the_boundary(self):
+        """At exactly ``start + window`` the entry has lazily expired:
+        the hardware would not flag this persist, so the oracle must
+        not either."""
+        assert self.kinds_at(WINDOW) == set()
+
+    def test_no_stale_read_past_the_boundary(self):
+        assert self.kinds_at(WINDOW + 1) == set()
